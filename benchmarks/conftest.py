@@ -1,0 +1,27 @@
+"""Shared helpers for the per-figure/table benchmark suite.
+
+Each benchmark regenerates one paper table/figure in ``quick`` mode (short
+runs, reduced sweeps) under ``pytest-benchmark`` timing, then asserts the
+*shape* the paper reports — who wins, by roughly what factor, where the
+crossovers fall.  Full-scale numbers live in EXPERIMENTS.md and are produced
+by ``benchmarks/run_all.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get
+from repro.stats import ExperimentResult
+
+
+def run_experiment(benchmark, experiment_id: str) -> ExperimentResult:
+    """Run one experiment (quick mode) exactly once under the benchmark."""
+    return benchmark.pedantic(
+        lambda: get(experiment_id)(quick=True), rounds=1, iterations=1
+    )
+
+
+def rows_by(result: ExperimentResult, *keys: str) -> dict[tuple, dict]:
+    """Index rows by a tuple of column values."""
+    return {tuple(row[k] for k in keys): row for row in result.rows}

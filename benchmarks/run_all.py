@@ -1,0 +1,70 @@
+"""Regenerate every paper table/figure at full scale.
+
+Runs each experiment in :data:`repro.experiments.ALL_EXPERIMENTS` (full mode:
+5-second simulations, 5 seeds, full sweeps) and writes one text file per
+experiment under ``results/`` plus a combined ``results/ALL.txt``.  Use
+``--quick`` for the reduced benchmark-mode sweeps, or pass experiment ids to
+run a subset:
+
+    python benchmarks/run_all.py                 # everything, full scale
+    python benchmarks/run_all.py --quick fig4    # one experiment, quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ALL_EXPERIMENTS, EXTENSIONS, get
+
+#: Cheap experiments first so partial runs still cover most artifacts.
+ORDER = [
+    "table1", "table3", "fig21", "fig22",
+    "fig1", "fig2", "fig3",
+    "table4", "table5", "fig18", "fig19",
+    "table6", "table7", "table8", "table9",
+    "fig11", "fig12", "fig13", "fig17", "fig24",
+    "fig7", "fig8", "fig6", "table2", "fig4", "fig5",
+    "fig14", "fig23", "fig9", "fig10", "fig15", "fig16",
+    "ext_autorate", "ext_sender_baseline",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
+    parser.add_argument("--quick", action="store_true", help="reduced sweeps")
+    parser.add_argument(
+        "--results-dir",
+        default=str(Path(__file__).resolve().parent.parent / "results"),
+    )
+    args = parser.parse_args(argv)
+
+    known = set(ALL_EXPERIMENTS) | set(EXTENSIONS)
+    ids = args.experiments or [e for e in ORDER if e in known]
+    unknown = [e for e in ids if e not in known]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    results_dir = Path(args.results_dir)
+    results_dir.mkdir(exist_ok=True)
+    combined: list[str] = []
+    for experiment_id in ids:
+        started = time.time()
+        print(f"[{experiment_id}] running...", flush=True)
+        result = get(experiment_id)(quick=args.quick)
+        text = result.to_text()
+        elapsed = time.time() - started
+        footer = f"(generated in {elapsed:.1f}s, {'quick' if args.quick else 'full'} mode)\n"
+        (results_dir / f"{experiment_id}.txt").write_text(text + footer)
+        combined.append(text + footer)
+        print(f"[{experiment_id}] done in {elapsed:.1f}s", flush=True)
+    (results_dir / "ALL.txt").write_text("\n".join(combined))
+    print(f"wrote {len(ids)} results to {results_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

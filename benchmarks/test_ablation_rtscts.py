@@ -1,0 +1,46 @@
+"""Ablation: RTS/CTS dependence of NAV inflation.
+
+Inflated CTS NAV only exists when RTS/CTS is in use; inflated ACK NAV works
+either way (Section IV-A's applicability discussion).
+"""
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+
+US = 1_000_000.0
+
+
+def run_nav(frames, rts_enabled, seed=1, duration=1.5):
+    s = Scenario(seed=seed, rts_enabled=rts_enabled)
+    s.add_wireless_node("NS")
+    s.add_wireless_node("GS")
+    s.add_wireless_node("NR")
+    s.add_wireless_node("GR", greedy=GreedyConfig.nav_inflator(10_000.0, frames))
+    f1, k1 = s.udp_flow("NS", "NR")
+    f2, k2 = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(duration)
+    return k1.goodput_mbps(duration * US), k2.goodput_mbps(duration * US)
+
+
+def test_ablation_rtscts(benchmark):
+    def run_all():
+        return {
+            "cts_with_rtscts": run_nav({FrameKind.CTS}, rts_enabled=True),
+            "cts_without_rtscts": run_nav({FrameKind.CTS}, rts_enabled=False),
+            "ack_without_rtscts": run_nav({FrameKind.ACK}, rts_enabled=False),
+            "ack_with_rtscts": run_nav({FrameKind.ACK}, rts_enabled=True),
+        }
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # CTS inflation needs RTS/CTS to exist at all.
+    nr, gr = out["cts_with_rtscts"]
+    assert gr > 5 * max(nr, 1e-3)
+    nr, gr = out["cts_without_rtscts"]  # no CTS frames are ever sent
+    assert 0.4 < nr / max(gr, 1e-9) < 2.5
+    # ACK inflation hurts regardless of RTS/CTS.
+    for key in ("ack_without_rtscts", "ack_with_rtscts"):
+        nr, gr = out[key]
+        assert gr > 5 * max(nr, 1e-3), key

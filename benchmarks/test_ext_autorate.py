@@ -1,0 +1,28 @@
+"""Extension bench: auto-rate interactions predicted by Section IX.
+
+* Fake ACKs *reduce* the greedy receiver's goodput under ARF (the faked
+  feedback drives the rate above what the channel supports).
+* ACK spoofing hits the victim *harder* under ARF (its sender never falls
+  back to a decodable rate).
+"""
+
+from conftest import rows_by, run_experiment
+
+
+def test_ext_autorate(benchmark):
+    result = run_experiment(benchmark, "ext_autorate")
+    rows = rows_by(result, "scenario", "case")
+
+    # Fake ACKs backfire under auto-rate.
+    arf_honest = rows[("fake-ack", "ARF, honest")]
+    arf_faking = rows[("fake-ack", "ARF, fake ACKs")]
+    assert arf_faking["goodput_GR"] < 0.7 * arf_honest["goodput_GR"]
+    # The faked feedback pushed the rate above the honest operating point.
+    assert arf_faking["rate_final"] >= arf_honest["rate_final"]
+
+    # Spoofing is worse for the victim under auto-rate than at a fixed,
+    # well-chosen rate.
+    arf_spoofed = rows[("spoof", "ARF, spoofing")]
+    arf_clean = rows[("spoof", "ARF, honest")]
+    assert arf_spoofed["goodput_NR"] < 0.3 * max(arf_clean["goodput_NR"], 1e-9)
+    assert arf_spoofed["goodput_GR"] > arf_clean["goodput_GR"]

@@ -1,0 +1,19 @@
+"""Extension bench: receiver-side misbehavior rivals the sender-side classic."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_ext_sender_baseline(benchmark):
+    result = run_experiment(benchmark, "ext_sender_baseline")
+    rows = rows_by(result, "attack")
+    honest = rows[("none",)]
+    sender = rows[("selfish-sender",)]
+    receiver = rows[("greedy-receiver",)]
+    # Honest split is fair.
+    assert 0.35 < honest["attacker_share"] < 0.65
+    # Both attacks capture a clear majority of the medium.
+    assert sender["attacker_share"] > 0.7
+    assert receiver["attacker_share"] > 0.7
+    # The paper's thesis: the *receiver* — without controlling a single
+    # backoff — does at least comparable damage to the backoff cheater.
+    assert receiver["attacker_share"] > sender["attacker_share"] - 0.1

@@ -1,0 +1,17 @@
+"""Figure 1: UDP goodput under CTS NAV inflation — starvation at 0.6 ms."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig1_nav_inflation_udp(benchmark):
+    result = run_experiment(benchmark, "fig1")
+    rows = rows_by(result, "alpha")
+    fair = rows[(0,)]
+    # Honest baseline: both flows within 2x of each other.
+    assert 0.5 < fair["goodput_NR"] / fair["goodput_GR"] < 2.0
+    # The paper's headline: 0.6 ms inflation (alpha=6) starves the victim.
+    starved = rows[(6,)]
+    assert starved["goodput_NR"] < 0.1
+    assert starved["goodput_GR"] > 2.5
+    # And it only gets worse toward the NAV maximum.
+    assert rows[(310,)]["goodput_GR"] >= starved["goodput_GR"] * 0.9

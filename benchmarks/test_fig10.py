@@ -1,0 +1,21 @@
+"""Figure 10: shared sender dampens but does not remove the NAV-inflation gain."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig10_shared_sender(benchmark):
+    result = run_experiment(benchmark, "fig10")
+    rows = rows_by(result, "subfigure", "nav_inflation_ms")
+    # (a) TCP, 2 receivers: greedy receiver still wins at max inflation.
+    top = rows[("a:tcp-2rx", 31.0)]
+    assert top["goodput_GR"] > top["goodput_NR"]
+    # (b) TCP, 8 receivers: smaller but present gain.
+    many = rows[("b:tcp-8rx", 31.0)]
+    assert many["goodput_GR"] > many["goodput_NR"]
+    # (c) UDP: both flows sink together; no large greedy edge.
+    udp_base = rows[("c:udp-2rx", 0.0)]
+    udp_top = rows[("c:udp-2rx", 31.0)]
+    total_base = udp_base["goodput_GR"] + udp_base["goodput_NR"]
+    total_top = udp_top["goodput_GR"] + udp_top["goodput_NR"]
+    assert total_top < total_base
+    assert udp_top["goodput_GR"] < 2.0 * max(udp_top["goodput_NR"], 1e-3)

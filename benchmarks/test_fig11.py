@@ -1,0 +1,20 @@
+"""Figure 11: ACK spoofing vs loss rate (TCP)."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig11_spoof_vs_ber(benchmark):
+    result = run_experiment(benchmark, "fig11")
+    rows = rows_by(result, "phy", "ber", "case")
+    # No loss: spoofed ACKs change nothing (there is nothing to suppress).
+    clean = rows[("802.11b", 0.0, "w R2 GR")]
+    clean_base = rows[("802.11b", 0.0, "no GR")]
+    assert abs(clean["goodput_R2_or_GR"] - clean_base["goodput_R2_or_GR"]) < 0.4
+    # Moderate loss: the spoofer wins big; honest flows stay comparable.
+    ber = 2e-4
+    base = rows[("802.11b", ber, "no GR")]
+    attacked = rows[("802.11b", ber, "w R2 GR")]
+    assert 0.4 < base["goodput_R1_or_NR"] / max(base["goodput_R2_or_GR"], 1e-9) < 2.5
+    assert attacked["goodput_R2_or_GR"] > 1.5 * attacked["goodput_R1_or_NR"]
+    # Victim does worse than without the attacker.
+    assert attacked["goodput_R1_or_NR"] < base["goodput_R1_or_NR"]

@@ -1,0 +1,15 @@
+"""Figure 12: spoofing gain grows with greedy percentage."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig12_gp_sweep(benchmark):
+    result = run_experiment(benchmark, "fig12")
+    rows = rows_by(result, "ber", "greedy_percentage")
+    ber = 2e-4
+    g0 = rows[(ber, 0.0)]
+    g100 = rows[(ber, 100.0)]
+    # More spoofing, more gain; the victim degrades correspondingly.
+    assert g100["goodput_GR"] > g0["goodput_GR"]
+    assert g100["goodput_NR"] < g0["goodput_NR"]
+    assert g100["goodput_GR"] > 1.5 * max(g100["goodput_NR"], 1e-3)

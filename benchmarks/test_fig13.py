@@ -1,0 +1,16 @@
+"""Figure 13: two mutual spoofers destroy total goodput."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig13_mutual_spoofers(benchmark):
+    result = run_experiment(benchmark, "fig13")
+    rows = rows_by(result, "greedy_percentage", "n_greedy")
+    gp = 100.0
+    honest_total = rows[(gp, 0)]["total"]
+    both_total = rows[(gp, 2)]["total"]
+    # Mutual spoofing disables MAC retransmission for everyone: total drops.
+    assert both_total < honest_total
+    # Single spoofer still wins individually.
+    one = rows[(gp, 1)]
+    assert one["goodput_R1"] > one["goodput_R0"]

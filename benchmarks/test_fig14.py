@@ -1,0 +1,21 @@
+"""Figure 14: spoofer vs crowd, shared AP vs per-flow APs."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig14_pairs(benchmark):
+    result = run_experiment(benchmark, "fig14")
+    rows = rows_by(result, "topology", "n_pairs")
+    for topology in ("one AP", "per-flow APs"):
+        for n_pairs in (2, 4):
+            row = rows[(topology, n_pairs)]
+            assert row["goodput_GR"] > row["goodput_NR_mean"], row
+    # Head-of-line blocking under one AP shrinks the spoofer's edge.
+    gap_shared = (
+        rows[("one AP", 2)]["goodput_GR"] - rows[("one AP", 2)]["goodput_NR_mean"]
+    )
+    gap_separate = (
+        rows[("per-flow APs", 2)]["goodput_GR"]
+        - rows[("per-flow APs", 2)]["goodput_NR_mean"]
+    )
+    assert gap_separate > gap_shared - 0.15

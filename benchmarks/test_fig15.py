@@ -1,0 +1,21 @@
+"""Figure 15: remote TCP senders — spoofing wins across wireline latencies."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig15_remote_senders(benchmark):
+    result = run_experiment(benchmark, "fig15")
+    rows = rows_by(result, "wired_delay_ms", "case")
+    for delay in (2, 200):
+        # Honest baseline stays fair at every latency.
+        base = rows[(delay, "no GR")]
+        assert 0.4 < base["goodput_NR"] / max(base["goodput_GR"], 1e-9) < 2.5
+        # The spoofer out-earns its victim by a wide margin.
+        attacked = rows[(delay, "w R2 GR")]
+        assert attacked["goodput_GR"] > 2.0 * max(attacked["goodput_NR"], 1e-3)
+        # And the victim does worse than without the attacker.
+        assert attacked["goodput_NR"] < 0.7 * base["goodput_NR"]
+    # Higher latency shrinks everyone's absolute goodput (ACK clocking).
+    assert (
+        rows[(200, "w R2 GR")]["goodput_GR"] < rows[(2, "w R2 GR")]["goodput_GR"] * 1.2
+    )

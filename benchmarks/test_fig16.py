@@ -1,0 +1,19 @@
+"""Figure 16: remote senders — partial spoofing already pays at high RTT."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig16_remote_gp(benchmark):
+    result = run_experiment(benchmark, "fig16")
+    rows = rows_by(result, "wired_delay_ms", "greedy_percentage")
+    delay = 200
+    honest = rows[(delay, 0.0)]
+    partial = rows[(delay, 20.0)]
+    full = rows[(delay, 100.0)]
+    # Spoofing 20 % of sniffed frames already hurts the victim.
+    assert partial["goodput_NR"] < honest["goodput_NR"]
+    # Full spoofing gives the largest gap.
+    gap_partial = partial["goodput_GR"] - partial["goodput_NR"]
+    gap_full = full["goodput_GR"] - full["goodput_NR"]
+    assert gap_full >= gap_partial - 0.1
+    assert full["goodput_GR"] > full["goodput_NR"]

@@ -1,0 +1,18 @@
+"""Figure 17: ACK spoofing against UDP — present but milder than TCP."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig17_spoof_udp(benchmark):
+    result = run_experiment(benchmark, "fig17")
+    rows = rows_by(result, "ber", "case")
+    # Without losses, nothing to steal.
+    base = rows[(0.0, "w R2 GR")]
+    assert abs(base["goodput_GR"] - base["goodput_NR"]) < 0.5
+    # With losses, the spoofer converts NR's retransmission time into its own
+    # service time.
+    ber = 4.4e-4
+    honest = rows[(ber, "no GR")]
+    attacked = rows[(ber, "w R2 GR")]
+    assert 0.5 < honest["goodput_NR"] / max(honest["goodput_GR"], 1e-9) < 2.0
+    assert attacked["goodput_GR"] > attacked["goodput_NR"]

@@ -1,0 +1,22 @@
+"""Figure 18: fake ACKs under hidden-terminal losses."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig18_hidden_terminals(benchmark):
+    result = run_experiment(benchmark, "fig18")
+    rows = rows_by(result, "case", "greedy_percentage")
+    # Honest baseline: roughly fair.
+    honest = rows[("only R2 greedy", 0.0)]
+    assert 0.4 < honest["goodput_R1"] / max(honest["goodput_R2"], 1e-9) < 2.5
+    # One faker at GP=100 dominates (its sender never backs off).
+    one = rows[("only R2 greedy", 100.0)]
+    assert one["goodput_R2"] > 3.0 * max(one["goodput_R1"], 1e-3)
+    # Both fakers: nobody dominates and the pair does no better than honest.
+    both = rows[("both greedy", 100.0)]
+    total_both = both["goodput_R1"] + both["goodput_R2"]
+    total_honest = honest["goodput_R1"] + honest["goodput_R2"]
+    assert total_both < total_honest * 1.1
+    assert max(both["goodput_R1"], both["goodput_R2"]) < 3.0 * min(
+        both["goodput_R1"], both["goodput_R2"]
+    )

@@ -1,0 +1,16 @@
+"""Figure 19: fake-ACK receiver vs a crowd — relative gain persists."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig19_fake_vs_pairs(benchmark):
+    result = run_experiment(benchmark, "fig19")
+    rows = rows_by(result, "ber", "n_pairs")
+    ber = 5e-4
+    for n_pairs in (2, 4):
+        row = rows[(ber, n_pairs)]
+        assert row["relative_gain"] > 1.2, row
+    # Absolute lead shrinks with more competitors (per-flow goodput shrinks).
+    gap2 = rows[(ber, 2)]["goodput_GR"] - rows[(ber, 2)]["goodput_NR_mean"]
+    gap4 = rows[(ber, 4)]["goodput_GR"] - rows[(ber, 4)]["goodput_NR_mean"]
+    assert gap4 < gap2 + 0.2

@@ -1,0 +1,14 @@
+"""Figure 2: NS's average CW climbs with NAV inflation, GS's stays at CW_min."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig2_contention_windows(benchmark):
+    result = run_experiment(benchmark, "fig2")
+    rows = rows_by(result, "v_slots")
+    # GS rides CW_min throughout.
+    for row in result.rows:
+        assert row["cw_GS"] < 45.0
+    # NS's CW grows as inflation grows (collisions dominate its few sends).
+    assert rows[(20,)]["cw_NS"] > rows[(0,)]["cw_NS"]
+    assert rows[(20,)]["cw_NS"] > rows[(20,)]["cw_GS"]

@@ -1,0 +1,12 @@
+"""Figure 21: RSSI is stable — ~95 % of samples within 1 dB of the median."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig21_rssi_stability(benchmark):
+    result = run_experiment(benchmark, "fig21")
+    rows = rows_by(result, "deviation_db")
+    assert rows[(1.0,)]["cdf"] > 0.90
+    assert rows[(5.0,)]["cdf"] > 0.99
+    cdf = result.column("cdf")
+    assert cdf == sorted(cdf)  # it is a CDF

@@ -1,0 +1,16 @@
+"""Figure 22: a 1 dB threshold balances false positives and negatives."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig22_roc(benchmark):
+    result = run_experiment(benchmark, "fig22")
+    rows = rows_by(result, "threshold_db")
+    at_1db = rows[(1.0,)]
+    assert at_1db["false_positive"] < 0.10
+    assert at_1db["false_negative"] < 0.10
+    # FP falls and FN rises with the threshold (trade-off shape).
+    fps = result.column("false_positive")
+    fns = result.column("false_negative")
+    assert fps == sorted(fps, reverse=True)
+    assert fns == sorted(fns)

@@ -1,0 +1,19 @@
+"""Figure 23: GRC detects and mitigates inflated CTS NAV across distances."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig23_grc_nav(benchmark):
+    result = run_experiment(benchmark, "fig23")
+    rows = rows_by(result, "transport", "distance_m", "case")
+    d_close = 20
+    # Without GRC the greedy pair shuts the normal pair off in range.
+    attacked = rows[("udp", d_close, "GR, no GRC")]
+    assert attacked["goodput_R2"] > 5.0 * max(attacked["goodput_R1"], 1e-3)
+    # With GRC fairness is restored and misbehavior is detected.
+    protected = rows[("udp", d_close, "GR + GRC")]
+    assert protected["goodput_R1"] > 0.4 * protected["goodput_R2"]
+    assert protected["nav_detections"] > 0
+    # Far apart, the inflation cannot be heard and does no harm.
+    far = rows[("udp", 70, "GR, no GRC")]
+    assert far["goodput_R1"] > 1.0

@@ -1,0 +1,18 @@
+"""Figure 24: GRC recovers from ACK spoofing across loss rates."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig24_grc_spoof(benchmark):
+    result = run_experiment(benchmark, "fig24")
+    rows = rows_by(result, "ber", "case")
+    ber = 2e-4
+    base = rows[(ber, "no GR")]
+    attacked = rows[(ber, "GR, no GRC")]
+    protected = rows[(ber, "GR + GRC")]
+    # Attack works without GRC.
+    assert attacked["goodput_GR"] > 1.5 * max(attacked["goodput_NR"], 1e-3)
+    # GRC restores the victim toward its no-attack goodput and detects.
+    assert protected["goodput_NR"] > 2.0 * attacked["goodput_NR"]
+    assert protected["goodput_NR"] > 0.5 * base["goodput_NR"]
+    assert protected["detections"] > 0

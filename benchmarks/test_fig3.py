@@ -1,0 +1,16 @@
+"""Figure 3: Equations (1)-(2) track the simulated RTS sending ratio."""
+
+from conftest import run_experiment
+
+
+def test_fig3_model_accuracy(benchmark):
+    result = run_experiment(benchmark, "fig3")
+    for row in result.rows:
+        assert row["abs_error"] < 0.15, row
+    # Monotonic: the greedy sender's share grows with inflation in both the
+    # simulation and the model.
+    measured = result.column("measured_gs_share")
+    model = result.column("model_gs_share")
+    assert measured == sorted(measured)
+    assert model == sorted(model)
+    assert measured[-1] > 0.85

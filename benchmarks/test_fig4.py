@@ -1,0 +1,19 @@
+"""Figure 4: TCP NAV inflation per frame-kind variant (802.11b)."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig4_tcp_nav_variants(benchmark):
+    result = run_experiment(benchmark, "fig4")
+    rows = rows_by(result, "variant", "nav_inflation_ms")
+    for variant in ("cts", "rts_cts", "ack", "all"):
+        base = rows[(variant, 0.0)]
+        top = rows[(variant, 31.0)]
+        # Honest baseline is fair; max inflation favors the greedy receiver.
+        assert 0.5 < base["goodput_NR"] / max(base["goodput_GR"], 1e-9) < 2.0
+        assert top["goodput_GR"] > top["goodput_NR"]
+    # Inflating NAV on all frames dominates the medium from ~2 ms already.
+    all_2ms = rows[("all", 2.0)]
+    assert all_2ms["goodput_NR"] < 0.25 * all_2ms["goodput_GR"]
+    # CTS inflation at 31 ms essentially shuts the victim off.
+    assert rows[("cts", 31.0)]["goodput_NR"] < 0.2

@@ -1,0 +1,13 @@
+"""Figure 5: the Figure 4 sweep under 802.11a shows the same trend."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig5_tcp_nav_11a(benchmark):
+    result = run_experiment(benchmark, "fig5")
+    rows = rows_by(result, "variant", "nav_inflation_ms")
+    for variant in ("cts", "rts_cts", "ack", "all"):
+        base = rows[(variant, 0.0)]
+        top = rows[(variant, 31.0)]
+        assert 0.5 < base["goodput_NR"] / max(base["goodput_GR"], 1e-9) < 2.0
+        assert top["goodput_GR"] > 2.0 * max(top["goodput_NR"], 1e-3)

@@ -1,0 +1,15 @@
+"""Figure 6: one greedy receiver among 8 TCP flows."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig6_eight_flows(benchmark):
+    result = run_experiment(benchmark, "fig6")
+    rows = rows_by(result, "nav_inflation_ms")
+    base = rows[(0.0,)]
+    # Honest baseline: the would-be greedy receiver is just another flow.
+    assert base["goodput_GR"] < 2.5 * base["goodput_NR_mean"]
+    # ~10 ms CTS NAV increase suffices to dominate 7 normal competitors.
+    dominating = rows[(10.0,)]
+    assert dominating["goodput_GR"] > 4.0 * dominating["goodput_NR_mean"]
+    assert rows[(31.0,)]["goodput_GR"] > rows[(0.0,)]["goodput_GR"]

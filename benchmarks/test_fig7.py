@@ -1,0 +1,17 @@
+"""Figure 7: greedy percentage sweep — partial misbehavior still pays."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig7_greedy_percentage(benchmark):
+    result = run_experiment(benchmark, "fig7")
+    rows = rows_by(result, "nav_inflation_ms", "greedy_percentage")
+    # GP=0 is the honest baseline; GP=100 dominates.
+    for nav in (10.0, 31.0):
+        honest = rows[(nav, 0.0)]
+        assert honest["goodput_GR"] < 2.0 * max(honest["goodput_NR"], 1e-9)
+        full = rows[(nav, 100.0)]
+        assert full["goodput_GR"] > 3.0 * max(full["goodput_NR"], 1e-3)
+        # Half-time greediness already gives a substantial edge.
+        half = rows[(nav, 50.0)]
+        assert half["goodput_GR"] > half["goodput_NR"]

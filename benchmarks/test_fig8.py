@@ -1,0 +1,17 @@
+"""Figure 8: 0/1/2 greedy receivers, 2 TCP pairs."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_fig8_greedy_count(benchmark):
+    result = run_experiment(benchmark, "fig8")
+    rows = rows_by(result, "nav_inflation_ms", "n_greedy")
+    nav = 31.0
+    fair = rows[(nav, 0)]
+    assert 0.5 < fair["goodput_R0"] / max(fair["goodput_R1"], 1e-9) < 2.0
+    one = rows[(nav, 1)]
+    assert one["goodput_R1"] > 3.0 * max(one["goodput_R0"], 1e-3)
+    # Both greedy: winner-takes-all — whoever grabs the medium first keeps it
+    # (per-seed sorted values, since the winner alternates between seeds).
+    two = rows[(nav, 2)]
+    assert two["goodput_hi"] > 3.0 * max(two["goodput_lo"], 1e-3)

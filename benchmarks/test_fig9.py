@@ -1,0 +1,17 @@
+"""Figure 9: many greedy receivers — only one survives at 31 ms inflation."""
+
+from conftest import rows_by, run_experiment
+
+N_PAIRS = 8
+
+
+def test_fig9_only_one_survives(benchmark):
+    result = run_experiment(benchmark, "fig9")
+    rows = rows_by(result, "n_greedy")
+    for (n_greedy,), row in rows.items():
+        if n_greedy < 1:
+            continue
+        ranked = [row[f"rank{i}"] for i in range(N_PAIRS)]
+        # One flow dominates; the rest get (virtually) nothing.
+        assert ranked[0] > 5.0 * max(ranked[1], 1e-3), (n_greedy, ranked)
+        assert sum(ranked[1:]) < 0.5 * ranked[0], (n_greedy, ranked)

@@ -1,0 +1,19 @@
+"""Table I: corrupted frames mostly preserve MAC addresses."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table1_address_survival(benchmark):
+    result = run_experiment(benchmark, "table1")
+    rows = rows_by(result, "phy", "source")
+    model_b = rows[("802.11b", "model")]
+    model_a = rows[("802.11a", "model")]
+    # 802.11b: rare corruption, addresses nearly always survive.
+    assert 0.01 < model_b["corruption_rate"] < 0.04
+    assert model_b["dst_survival"] > 0.95
+    # 802.11a: frequent corruption, addresses survive ~80-90 %.
+    assert 0.25 < model_a["corruption_rate"] < 0.40
+    assert 0.70 < model_a["dst_survival"] < 0.95
+    # Either way the attack stays feasible: most corrupted frames are
+    # attributable to the right stations.
+    assert model_a["dst_survival"] * model_a["src_survival_given_dst"] > 0.5

@@ -1,0 +1,19 @@
+"""Table II: TCP congestion windows, one- vs two-sender topologies."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table2_cwnd_gap(benchmark):
+    result = run_experiment(benchmark, "table2")
+    rows = rows_by(result, "nav_inflation_ms")
+    base = rows[(0.0,)]
+    # Honest: windows comparable everywhere.
+    assert abs(base["cwnd_NS_NR"] - base["cwnd_GS_GR"]) < 8.0
+    top = rows[(31.0,)]
+    # The greedy flow keeps a larger window in both topologies...
+    assert top["cwnd_GS_GR"] > top["cwnd_NS_NR"]
+    assert top["cwnd_S_GR"] > top["cwnd_S_NR"]
+    # ...and the gap is larger with separate senders than a shared one.
+    gap_two = top["cwnd_GS_GR"] - top["cwnd_NS_NR"]
+    gap_one = top["cwnd_S_GR"] - top["cwnd_S_NR"]
+    assert gap_two > gap_one - 2.0

@@ -1,0 +1,20 @@
+"""Table IV: contention windows under hidden terminals + fake ACKs."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table4_cw(benchmark):
+    result = run_experiment(benchmark, "table4")
+    rows = rows_by(result, "phy", "case")
+    no_gr = rows[("802.11b", "no GR")]
+    one_gr = rows[("802.11b", "1 GR")]
+    two_gr = rows[("802.11b", "2 GRs")]
+    # Honest: both senders suffer large CWs from collisions.
+    assert no_gr["cw_S1"] > 60 and no_gr["cw_S2"] > 60
+    # One faker: its sender (S2) collapses to near CW_min, the honest one
+    # explodes — the paper's 362 vs 43 contrast.
+    assert one_gr["cw_S2"] < 60
+    assert one_gr["cw_S1"] > 3.0 * one_gr["cw_S2"]
+    # Two fakers: both drop well below the honest baseline.
+    assert two_gr["cw_S1"] < no_gr["cw_S1"]
+    assert two_gr["cw_S2"] < no_gr["cw_S2"]

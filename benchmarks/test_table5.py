@@ -1,0 +1,19 @@
+"""Table V: fake ACKs help under inherent (non-collision) losses."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table5_inherent_losses(benchmark):
+    result = run_experiment(benchmark, "table5")
+    rows = rows_by(result, "data_fer", "case")
+    fer = 0.5
+    honest = rows[(fer, "no GR")]
+    one = rows[(fer, "1 GR")]
+    two = rows[(fer, "2 GRs")]
+    # Single faker: large gain over its honest baseline, victim loses.
+    assert one["goodput_R2"] > 1.5 * honest["goodput_R2"]
+    assert one["goodput_R1"] < honest["goodput_R1"]
+    # Both faking: both do at least as well as honest (backoff was pure
+    # waste under inherent loss) — the paper's "useful surviving technique".
+    assert two["goodput_R1"] >= honest["goodput_R1"] * 0.95
+    assert two["goodput_R2"] >= honest["goodput_R2"] * 0.95

@@ -1,0 +1,14 @@
+"""Table VI (testbed emulation): NAV on RTS-for-TCP-ACK starves the victim."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table6(benchmark):
+    result = run_experiment(benchmark, "table6")
+    rows = rows_by(result, "case")
+    fair = rows[("no GR",)]
+    assert 0.5 < fair["goodput_R1"] / max(fair["goodput_R2"], 1e-9) < 2.0
+    greedy = rows[("1 GR",)]
+    # Paper: 4.41 vs 0.04 Mbps.
+    assert greedy["goodput_R1"] > 3.0
+    assert greedy["goodput_R2"] < 0.3

@@ -1,0 +1,19 @@
+"""Table VII (testbed emulation): UDP NAV inflation grabs the whole medium."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table7(benchmark):
+    result = run_experiment(benchmark, "table7")
+    rows = rows_by(result, "variant", "case")
+    for variant in (
+        "no RTS/CTS, inflated NAV on ACK",
+        "with RTS/CTS, inflated NAV on CTS",
+        "with RTS/CTS, inflated NAV on CTS/ACK",
+    ):
+        fair = rows[(variant, "no GR")]
+        assert 0.5 < fair["goodput_R1"] / max(fair["goodput_R2"], 1e-9) < 2.0
+        greedy = rows[(variant, "1 GR")]
+        # Paper: ~4.6-4.9 vs ~0.05-0.08 Mbps.
+        assert greedy["goodput_R1"] > 3.5, variant
+        assert greedy["goodput_R2"] < 0.3, variant

@@ -1,0 +1,13 @@
+"""Table VIII (testbed emulation): spoofing boosts GR, halves NR."""
+
+from conftest import rows_by, run_experiment
+
+
+def test_table8(benchmark):
+    result = run_experiment(benchmark, "table8")
+    rows = rows_by(result, "case")
+    fair = rows[("no GR",)]
+    greedy = rows[("1 GR",)]
+    # Paper: GR +30 %, NR roughly halved.
+    assert greedy["goodput_GR"] > fair["goodput_GR"] * 1.15
+    assert greedy["goodput_NR"] < fair["goodput_NR"] * 0.7

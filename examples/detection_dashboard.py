@@ -1,0 +1,93 @@
+"""An operator's view: all three misbehaviors active, GRC everywhere.
+
+Builds a hotspot where three different clients run the three different
+misbehaviors simultaneously, turns on every GRC detector plus the prober,
+and prints what a network operator would see: per-offender verdicts from the
+:class:`~repro.core.detection.MisbehaviorMonitor` and the airtime ledger
+from the frame tracer.
+
+Run:  python examples/detection_dashboard.py
+"""
+
+from repro import GreedyConfig, Scenario
+from repro.core.detection import (
+    FakeAckDetector,
+    MisbehaviorMonitor,
+    ProbeResponder,
+    Prober,
+)
+from repro.mac.frames import FrameKind
+from repro.phy.error import set_ber_all_pairs
+from repro.stats import FrameTracer
+
+DURATION_S = 6.0
+US = 1_000_000.0
+
+
+def main() -> None:
+    s = Scenario(seed=5)
+    # Access points.
+    s.add_wireless_node("AP-1", position=(0.0, 0.0))
+    s.add_wireless_node("AP-2", position=(2.0, 0.0))
+    s.add_wireless_node("AP-3", position=(0.0, 2.0))
+    s.add_wireless_node("AP-4", position=(2.0, 2.0))
+    # One honest client and three misbehaving ones.
+    s.add_wireless_node("carol", position=(10.0, 0.0))
+    s.add_wireless_node(
+        "nav-cheat",
+        position=(0.0, 10.0),
+        greedy=GreedyConfig.nav_inflator(8_000.0, {FrameKind.CTS}),
+    )
+    s.add_wireless_node(
+        "spoofer",
+        position=(40.0, 0.0),
+        greedy=GreedyConfig.ack_spoofer(victims={"carol"}),
+    )
+    s.add_wireless_node("faker", position=(10.0, 10.0), greedy=GreedyConfig.ack_faker())
+
+    # A mildly noisy channel gives the spoofer and the faker something to
+    # exploit.
+    set_ber_all_pairs(s.error_model, list(s.nodes), 1e-4)
+
+    # Full GRC: every station validates NAVs, every AP vets ACK RSSI, and
+    # the faker's own AP runs the application-loss prober.
+    s.enable_nav_validation()
+    s.enable_spoof_detection(["AP-1", "AP-2", "AP-3", "AP-4"])
+    prober = Prober(s.sim, s.nodes["AP-4"], "faker")
+    ProbeResponder(s.nodes["faker"], prober.flow_id)
+    fake_detector = FakeAckDetector(s.macs["AP-4"], prober, "faker", s.report)
+    prober.start()
+
+    tracer = FrameTracer(s.medium)
+
+    flows = [
+        s.tcp_flow("AP-1", "carol"),
+        s.tcp_flow("AP-2", "nav-cheat"),
+        s.tcp_flow("AP-3", "spoofer"),
+    ]
+    udp = s.udp_flow("AP-4", "faker")
+    for sender, _receiver in flows:
+        sender.start()
+    udp[0].start()
+
+    s.run(DURATION_S)
+    fake_detector.evaluate(s.sim.now)
+
+    print(f"Hotspot after {DURATION_S:.0f} simulated seconds\n")
+    print("Goodput:")
+    for (_snd, rcv), name in zip(flows, ("carol", "nav-cheat", "spoofer")):
+        print(f"  {name:>10}: {rcv.goodput_mbps(DURATION_S * US):5.2f} Mbps (tcp)")
+    print(f"  {'faker':>10}: {udp[1].goodput_mbps(DURATION_S * US):5.2f} Mbps (udp)")
+
+    print("\nAirtime consumed per radio (ms):")
+    for name, airtime in sorted(
+        tracer.airtime_by_sender().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:>10}: {airtime / 1000:8.1f}")
+
+    print("\nGRC verdicts:")
+    print(MisbehaviorMonitor(s.report).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""NAV inflation in a busy hotspot, and the GRC countermeasure.
+
+Reproduces the paper's core misbehavior-1 story end to end:
+
+1. sweep the amount of CTS NAV inflation and watch the greedy client's
+   share of the medium grow (an ASCII rendition of Figure 1);
+2. switch on the GRC NAV validator at every station and watch fairness come
+   back, with the misbehaving client identified by name.
+
+Run:  python examples/hotspot_nav_inflation.py
+"""
+
+from repro import GreedyConfig, Scenario
+from repro.mac.frames import FrameKind
+
+DURATION_S = 2.0
+US = 1_000_000.0
+BAR_WIDTH = 44
+
+
+def run_hotspot(nav_inflation_us: float, grc: bool, seed: int = 7):
+    scenario = Scenario(seed=seed)
+    scenario.add_wireless_node("AP-1")
+    scenario.add_wireless_node("AP-2")
+    scenario.add_wireless_node("alice")
+    config = (
+        GreedyConfig.nav_inflator(nav_inflation_us, {FrameKind.CTS})
+        if nav_inflation_us > 0
+        else None
+    )
+    scenario.add_wireless_node("mallory", greedy=config)
+    if grc:
+        scenario.enable_nav_validation()
+
+    src1, sink1 = scenario.udp_flow("AP-1", "alice")
+    src2, sink2 = scenario.udp_flow("AP-2", "mallory")
+    src1.start()
+    src2.start()
+    scenario.run(DURATION_S)
+    return (
+        sink1.goodput_mbps(DURATION_S * US),
+        sink2.goodput_mbps(DURATION_S * US),
+        scenario.report,
+    )
+
+
+def bar(value: float, scale: float) -> str:
+    return "#" * max(0, round(value / scale * BAR_WIDTH))
+
+
+def main() -> None:
+    print("CTS NAV inflation sweep (no countermeasure)\n")
+    print(f"{'inflation':>10}  {'alice':>6}  {'mallory':>7}")
+    scale = 4.0
+    for nav_ms in (0.0, 0.2, 0.4, 0.6, 1.0, 5.0, 31.0):
+        alice, mallory, _report = run_hotspot(nav_ms * 1000.0, grc=False)
+        print(f"{nav_ms:8.1f}ms  {alice:6.2f}  {mallory:7.2f}  |{bar(mallory, scale)}")
+    print("\nmallory owns the channel from ~0.6 ms of inflation on.\n")
+
+    print("Same hotspot with the GRC NAV validator on every station:\n")
+    for nav_ms in (5.0, 31.0):
+        alice, mallory, report = run_hotspot(nav_ms * 1000.0, grc=True)
+        offenders = report.offenders("nav")
+        print(
+            f"{nav_ms:8.1f}ms  alice {alice:5.2f}  mallory {mallory:5.2f}  "
+            f"detections: {dict(offenders)}"
+        )
+    print("\nFairness restored, and every detection points at mallory.")
+
+
+if __name__ == "__main__":
+    main()

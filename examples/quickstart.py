@@ -1,0 +1,50 @@
+"""Quickstart: one greedy receiver starves a competing hotspot flow.
+
+Two access points each send saturating UDP traffic to one client.  One
+client inflates the NAV field of its CTS frames by 10 ms — silencing every
+other station while its own sender keeps transmitting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GreedyConfig, Scenario
+from repro.mac.frames import FrameKind
+
+DURATION_S = 2.0
+US = 1_000_000.0
+
+
+def run(greedy: bool) -> tuple[float, float]:
+    """Return (normal receiver goodput, greedy receiver goodput) in Mbps."""
+    scenario = Scenario(seed=42)
+    scenario.add_wireless_node("AP-1")
+    scenario.add_wireless_node("AP-2")
+    scenario.add_wireless_node("honest-client")
+    config = GreedyConfig.nav_inflator(10_000.0, {FrameKind.CTS}) if greedy else None
+    scenario.add_wireless_node("greedy-client", greedy=config)
+
+    honest_src, honest_sink = scenario.udp_flow("AP-1", "honest-client")
+    greedy_src, greedy_sink = scenario.udp_flow("AP-2", "greedy-client")
+    honest_src.start()
+    greedy_src.start()
+    scenario.run(DURATION_S)
+    return (
+        honest_sink.goodput_mbps(DURATION_S * US),
+        greedy_sink.goodput_mbps(DURATION_S * US),
+    )
+
+
+def main() -> None:
+    honest_fair, greedy_fair = run(greedy=False)
+    print("Both clients honest:")
+    print(f"  client 1: {honest_fair:5.2f} Mbps")
+    print(f"  client 2: {greedy_fair:5.2f} Mbps")
+
+    honest, greedy = run(greedy=True)
+    print("\nClient 2 inflates its CTS NAV by 10 ms:")
+    print(f"  honest client: {honest:5.2f} Mbps   <- starved")
+    print(f"  greedy client: {greedy:5.2f} Mbps   <- grabs the medium")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim for offline editable installs (pip --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

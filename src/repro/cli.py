@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # every reproducible artifact
+    python -m repro run fig1 --quick          # regenerate one table/figure
+    python -m repro demo nav --grc            # misbehavior demo + sparkline
+
+The demos build a small hotspot, run the chosen misbehavior, and print
+per-flow goodput plus a goodput-over-time sparkline so the takeover (and the
+GRC recovery) is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS, EXTENSIONS, get
+
+US = 1_000_000.0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Paper artifacts:")
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        print(f"  {experiment_id}")
+    print("Extensions:")
+    for experiment_id in sorted(EXTENSIONS):
+        print(f"  {experiment_id}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        run = get(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    result = run(quick=args.quick)
+    text = result.to_text()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _build_demo(kind: str, grc: bool, seed: int):
+    from repro.core.greedy import GreedyConfig
+    from repro.mac.frames import FrameKind
+    from repro.net.scenario import Scenario
+    from repro.phy.error import set_ber_all_pairs
+
+    if kind == "nav":
+        s = Scenario(seed=seed)
+        s.add_wireless_node("NS")
+        s.add_wireless_node("GS")
+        s.add_wireless_node("NR")
+        s.add_wireless_node(
+            "GR", greedy=GreedyConfig.nav_inflator(10_000.0, {FrameKind.CTS})
+        )
+        if grc:
+            s.enable_nav_validation()
+        f1, victim = s.udp_flow("NS", "NR")
+        f2, attacker = s.udp_flow("GS", "GR")
+        f1.start()
+        f2.start()
+        return s, victim, attacker, "udp"
+    if kind == "spoof":
+        s = Scenario(seed=seed)
+        s.add_wireless_node("NS", position=(0, 0))
+        s.add_wireless_node("GS", position=(60, 60))
+        s.add_wireless_node("NR", position=(10, 0))
+        s.add_wireless_node(
+            "GR", position=(48, 20), greedy=GreedyConfig.ack_spoofer(victims={"NR"})
+        )
+        set_ber_all_pairs(s.error_model, ["NS", "GS", "NR", "GR"], 2e-4)
+        if grc:
+            s.enable_spoof_detection(["NS"])
+        snd1, victim = s.tcp_flow("NS", "NR")
+        snd2, attacker = s.tcp_flow("GS", "GR")
+        snd1.start()
+        snd2.start()
+        return s, victim, attacker, "tcp"
+    if kind == "fake":
+        s = Scenario(seed=seed, rts_enabled=False)
+        s.add_wireless_node("S1")
+        s.add_wireless_node("S2")
+        s.add_wireless_node("R1")
+        s.add_wireless_node("R2", greedy=GreedyConfig.ack_faker())
+        s.error_model.set_data_fer("S1", "R1", 0.5)
+        s.error_model.set_data_fer("S2", "R2", 0.5)
+        f1, victim = s.udp_flow("S1", "R1")
+        f2, attacker = s.udp_flow("S2", "R2")
+        f1.start()
+        f2.start()
+        return s, victim, attacker, "udp"
+    raise ValueError(f"unknown demo {kind!r}")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.stats.trace import attach_goodput_series, sparkline
+
+    try:
+        s, victim, attacker, _transport = _build_demo(args.kind, args.grc, args.seed)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    victim_series = attach_goodput_series(s.sim, victim)
+    attacker_series = attach_goodput_series(s.sim, attacker)
+    duration = args.duration
+    s.run(duration)
+    v = victim.goodput_mbps(duration * US)
+    a = attacker.goodput_mbps(duration * US)
+    grc_note = " (GRC on)" if args.grc else ""
+    print(f"demo={args.kind}{grc_note}  seed={args.seed}  {duration:.0f}s simulated")
+    print(f"  victim   {v:5.2f} Mbps |{sparkline([m for _t, m in victim_series.series()])}|")
+    print(f"  attacker {a:5.2f} Mbps |{sparkline([m for _t, m in attacker_series.series()])}|")
+    if s.report:
+        offenders = dict(s.report.offenders())
+        print(f"  detections: {offenders}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Greedy receivers in IEEE 802.11 hotspots: reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list reproducible tables/figures")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate one table/figure")
+    p_run.add_argument("experiment", help="e.g. fig4, table2, ext_autorate")
+    p_run.add_argument("--quick", action="store_true", help="reduced sweep")
+    p_run.add_argument("-o", "--output", help="write the table to a file")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_demo = sub.add_parser("demo", help="run a misbehavior demo")
+    p_demo.add_argument("kind", choices=["nav", "spoof", "fake"])
+    p_demo.add_argument("--grc", action="store_true", help="enable the countermeasure")
+    p_demo.add_argument("--seed", type=int, default=7)
+    p_demo.add_argument("--duration", type=float, default=2.0, help="simulated seconds")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

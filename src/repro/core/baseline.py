@@ -1,0 +1,46 @@
+"""Baseline: sender-side MAC misbehavior (the prior work the paper contrasts).
+
+Kyasanur & Vaidya showed that a *selfish sender* gains bandwidth by drawing
+backoff from a smaller contention window than the standard requires; DOMINO
+detects exactly that.  The paper's thesis is that **receivers** — who never
+control a backoff — can do comparable damage through feedback manipulation.
+
+This module configures a selfish sender on top of the same DCF MAC (via its
+``cw_min`` / ``cw_max`` overrides) so experiments can compare the two attack
+surfaces head to head (``repro.experiments.ext_sender_baseline``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.dcf import DcfMac
+
+
+@dataclass(frozen=True)
+class SelfishSenderConfig:
+    """Contention-window cheating parameters.
+
+    ``cw_factor`` scales the standard CW bounds down; 0.25 means the cheater
+    contends as if both CW_min and CW_max were a quarter of the standard
+    values (the aggressive end of what DOMINO's authors studied).
+    """
+
+    cw_factor: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cw_factor <= 1:
+            raise ValueError("cw_factor must be in (0, 1]")
+
+    def cw_min_for(self, standard_cw_min: int) -> int:
+        return max(1, int(standard_cw_min * self.cw_factor))
+
+    def cw_max_for(self, standard_cw_max: int) -> int:
+        return max(1, int(standard_cw_max * self.cw_factor))
+
+
+def make_selfish(mac: DcfMac, config: SelfishSenderConfig) -> None:
+    """Turn an existing (already honest) MAC into a selfish sender."""
+    mac.cw_min = config.cw_min_for(mac.phy.cw_min)
+    mac.cw_max = config.cw_max_for(mac.phy.cw_max)
+    mac.cw = mac.cw_min

@@ -1,0 +1,166 @@
+"""Fake-ACK detection (Section VII-C).
+
+The sender compares its MAC-layer per-transmission loss rate toward a
+receiver with the application-layer loss rate measured by active probing
+(ping).  A receiver that fakes ACKs for corrupted frames makes the MAC loss
+look near-zero while probes keep failing (corrupted probes produce no reply),
+so ``applicationLoss >> MACLoss^(maxRetries+1) + threshold`` exposes it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.detection.report import DetectionReport
+from repro.sim.engine import Simulator
+from repro.transport.packets import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.dcf import DcfMac
+    from repro.net.node import Node
+
+
+class Prober:
+    """Active application-layer loss probe (the paper's "ping").
+
+    ``Prober`` runs at the sender; a :class:`ProbeResponder` must be bound on
+    the probed node.  Probes ride the MAC like any data frame (including MAC
+    retransmissions), so their loss rate *is* the application loss rate the
+    detector needs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: "Node",
+        target: str,
+        interval_us: float = 20_000.0,
+        payload_bytes: int = 64,
+        reply_grace_us: float = 1_000_000.0,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.target = target
+        self.interval_us = interval_us
+        self.payload_bytes = payload_bytes
+        self.reply_grace_us = reply_grace_us
+        self.flow_id = f"probe:{node.name}->{target}"
+        self.sent = 0
+        self.replies = 0
+        self._sent_at: dict[int, float] = {}
+        self._seq = 0
+        self._stopped = False
+        node.bind_agent(self.flow_id, self)
+
+    def start(self, at: float = 0.0) -> None:
+        self.sim.schedule_at(max(at, self.sim.now), self._probe)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _probe(self) -> None:
+        if self._stopped:
+            return
+        packet = Packet(
+            PacketKind.PROBE,
+            self.flow_id,
+            self.node.name,
+            self.target,
+            seq=self._seq,
+            payload_bytes=self.payload_bytes,
+            created_at=self.sim.now,
+        )
+        self._sent_at[self._seq] = self.sim.now
+        self._seq += 1
+        self.sent += 1
+        self.node.send_packet(packet)
+        self.sim.schedule(self.interval_us, self._probe)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind is PacketKind.PROBE_REPLY and packet.seq in self._sent_at:
+            del self._sent_at[packet.seq]
+            self.replies += 1
+
+    def application_loss_rate(self) -> float:
+        """Fraction of sufficiently old probes that never got a reply."""
+        deadline = self.sim.now - self.reply_grace_us
+        mature_missing = sum(1 for t in self._sent_at.values() if t <= deadline)
+        mature_total = self.replies + mature_missing
+        if mature_total == 0:
+            return 0.0
+        return mature_missing / mature_total
+
+
+class ProbeResponder:
+    """Echoes probe packets; bind on the probed (possibly greedy) node."""
+
+    def __init__(self, node: "Node", prober_flow_id: str) -> None:
+        self.node = node
+        self.replies_sent = 0
+        node.bind_agent(prober_flow_id, self)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind is not PacketKind.PROBE:
+            return
+        reply = Packet(
+            PacketKind.PROBE_REPLY,
+            packet.flow_id,
+            self.node.name,
+            packet.src,
+            seq=packet.seq,
+            payload_bytes=packet.payload_bytes,
+            created_at=packet.created_at,
+        )
+        self.replies_sent += 1
+        self.node.send_packet(reply)
+
+
+class FakeAckDetector:
+    """Compares MAC loss with probed application loss toward one receiver."""
+
+    def __init__(
+        self,
+        mac: "DcfMac",
+        prober: Prober,
+        target: str,
+        report: DetectionReport | None = None,
+        threshold: float = 0.05,
+        min_probes: int = 20,
+    ) -> None:
+        self.mac = mac
+        self.prober = prober
+        self.target = target
+        self.report = report if report is not None else DetectionReport()
+        self.threshold = threshold
+        self.min_probes = min_probes
+        self.detected = False
+
+    def expected_application_loss(self) -> float:
+        """``MACLoss^(maxRetries+1)`` under independent per-transmission loss."""
+        mac_loss = self.mac.stats.mac_loss_rate(self.target)
+        retries = (
+            self.mac.phy.long_retry_limit
+            if self.mac.rts_enabled
+            else self.mac.phy.short_retry_limit
+        )
+        return mac_loss ** (retries + 1)
+
+    def evaluate(self, now: float) -> bool:
+        """Run the consistency check; True (and recorded) when inconsistent."""
+        if self.prober.sent < self.min_probes:
+            return False
+        app_loss = self.prober.application_loss_rate()
+        expected = self.expected_application_loss()
+        if app_loss > expected + self.threshold:
+            if not self.detected:
+                self.detected = True
+                self.report.record(
+                    now,
+                    "fake-ack",
+                    self.mac.name,
+                    self.target,
+                    f"application loss {app_loss:.3f} > expected {expected:.3f} "
+                    f"+ threshold {self.threshold}",
+                )
+            return True
+        return False

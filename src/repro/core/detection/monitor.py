@@ -1,0 +1,96 @@
+"""Operator-facing aggregation of GRC detections.
+
+A raw :class:`~repro.core.detection.report.DetectionReport` is a stream of
+per-frame events; an operator acts on *verdicts*: which station misbehaves,
+with what evidence, how persistently, seen by how many observers.  The paper
+notes the scheme "can be implemented at any node" and that more observers
+mean higher detection likelihood — :class:`MisbehaviorMonitor` is where the
+observations converge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.detection.report import DetectionEvent, DetectionReport
+
+
+@dataclass(frozen=True)
+class OffenderVerdict:
+    """Aggregated evidence against one station."""
+
+    offender: str
+    total_detections: int
+    by_detector: dict[str, int]
+    observers: tuple[str, ...]
+    first_seen_us: float
+    last_seen_us: float
+    rate_per_s: float  # detections per second over the active span
+
+    @property
+    def corroborated(self) -> bool:
+        """Seen by more than one observer or more than one detector type."""
+        return len(self.observers) > 1 or len(self.by_detector) > 1
+
+
+class MisbehaviorMonitor:
+    """Turns detection events into ranked per-offender verdicts."""
+
+    def __init__(
+        self,
+        report: DetectionReport,
+        min_detections: int = 3,
+        min_rate_per_s: float = 0.0,
+    ) -> None:
+        if min_detections < 1:
+            raise ValueError("min_detections must be >= 1")
+        self.report = report
+        self.min_detections = min_detections
+        self.min_rate_per_s = min_rate_per_s
+
+    def verdicts(self, now_us: float | None = None) -> list[OffenderVerdict]:
+        """Ranked verdicts (most detections first) passing the thresholds."""
+        events_by_offender: dict[str, list[DetectionEvent]] = {}
+        for event in self.report.events:
+            events_by_offender.setdefault(event.offender, []).append(event)
+        out = []
+        for offender, events in events_by_offender.items():
+            if len(events) < self.min_detections:
+                continue
+            first = min(e.time_us for e in events)
+            last = max(e.time_us for e in events)
+            span_s = max((last - first) / 1e6, 1e-9)
+            rate = len(events) / span_s if len(events) > 1 else float(len(events))
+            if rate < self.min_rate_per_s:
+                continue
+            out.append(
+                OffenderVerdict(
+                    offender=offender,
+                    total_detections=len(events),
+                    by_detector=dict(Counter(e.detector for e in events)),
+                    observers=tuple(sorted({e.observer for e in events})),
+                    first_seen_us=first,
+                    last_seen_us=last,
+                    rate_per_s=rate,
+                )
+            )
+        out.sort(key=lambda v: v.total_detections, reverse=True)
+        return out
+
+    def to_text(self, now_us: float | None = None) -> str:
+        """Render an operator summary."""
+        verdicts = self.verdicts(now_us)
+        if not verdicts:
+            return "no misbehavior detected\n"
+        lines = []
+        for v in verdicts:
+            detectors = ", ".join(f"{d}:{n}" for d, n in sorted(v.by_detector.items()))
+            flag = " [corroborated]" if v.corroborated else ""
+            lines.append(
+                f"{v.offender}: {v.total_detections} detections "
+                f"({detectors}) by {len(v.observers)} observer(s), "
+                f"{v.rate_per_s:.1f}/s over "
+                f"{(v.last_seen_us - v.first_seen_us) / 1e6:.2f}s{flag}"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,52 @@
+"""Shared detection bookkeeping for all GRC detectors."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One misbehavior detection."""
+
+    time_us: float
+    detector: str  # e.g. "nav", "rssi-spoof", "cross-layer", "fake-ack"
+    observer: str  # node that detected
+    offender: str  # node (or claimed node) the evidence points at
+    detail: str = ""
+
+
+@dataclass
+class DetectionReport:
+    """Accumulates detections across detectors and nodes for one run."""
+
+    events: list[DetectionEvent] = field(default_factory=list)
+    max_events: int = 100_000
+
+    def record(
+        self, time_us: float, detector: str, observer: str, offender: str, detail: str = ""
+    ) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(
+                DetectionEvent(time_us, detector, observer, offender, detail)
+            )
+
+    def count(self, detector: str | None = None, offender: str | None = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if (detector is None or e.detector == detector)
+            and (offender is None or e.offender == offender)
+        )
+
+    def offenders(self, detector: str | None = None) -> Counter:
+        """Detections per offender — the output an operator would act on."""
+        return Counter(
+            e.offender
+            for e in self.events
+            if detector is None or e.detector == detector
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

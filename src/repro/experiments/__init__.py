@@ -1,0 +1,70 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(quick: bool = False) -> ExperimentResult``; the
+``quick`` mode shortens runs and sweeps for CI/benchmarks while the full mode
+regenerates the numbers recorded in EXPERIMENTS.md.
+
+Use :func:`get` / :data:`ALL_EXPERIMENTS` to enumerate them programmatically
+(the ``benchmarks/run_all.py`` harness does).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.stats import ExperimentResult
+
+#: Experiment id -> module path (relative to this package).
+ALL_EXPERIMENTS: dict[str, str] = {
+    "table1": "table1_corruption",
+    "fig1": "fig1_nav_udp",
+    "fig2": "fig2_nav_cw",
+    "fig3": "fig3_model",
+    "fig4": "fig4_nav_tcp",
+    "fig5": "fig5_nav_tcp_11a",
+    "fig6": "fig6_nav_8flows",
+    "fig7": "fig7_nav_gp",
+    "fig8": "fig8_nav_ngr",
+    "fig9": "fig9_nav_many_gr",
+    "fig10": "fig10_shared_sender",
+    "table2": "table2_cwnd",
+    "table3": "table3_fer",
+    "fig11": "fig11_spoof_ber",
+    "fig12": "fig12_spoof_gp",
+    "fig13": "fig13_spoof_ngr",
+    "fig14": "fig14_spoof_pairs",
+    "fig15": "fig15_remote",
+    "fig16": "fig16_remote_gp",
+    "fig17": "fig17_spoof_udp",
+    "fig18": "fig18_fake_hidden",
+    "table4": "table4_fake_cw",
+    "table5": "table5_fake_inherent",
+    "fig19": "fig19_fake_pairs",
+    "table6": "table6_testbed_nav_tcp",
+    "table7": "table7_testbed_nav_udp",
+    "table8": "table8_testbed_spoof",
+    "table9": "table9_testbed_fake",
+    "fig21": "fig21_rssi_cdf",
+    "fig22": "fig22_rssi_roc",
+    "fig23": "fig23_grc_nav",
+    "fig24": "fig24_grc_spoof",
+}
+
+#: Beyond the paper's evaluation: its Section IX future-work studies.
+EXTENSIONS: dict[str, str] = {
+    "ext_autorate": "ext_autorate",
+    "ext_sender_baseline": "ext_sender_baseline",
+}
+
+
+def get(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Return the ``run`` callable for an experiment id (e.g. ``"fig4"``)."""
+    module_name = ALL_EXPERIMENTS.get(experiment_id) or EXTENSIONS.get(experiment_id)
+    if module_name is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(ALL_EXPERIMENTS) + sorted(EXTENSIONS)}"
+        )
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    return module.run

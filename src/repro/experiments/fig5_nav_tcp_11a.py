@@ -1,0 +1,25 @@
+"""Figure 5: the Figure 4 TCP NAV-inflation sweep repeated under 802.11a.
+
+Same trend as 802.11b, but for a given inflation the damage is larger:
+802.11a's inter-frame spacings and transmission times are smaller, so the
+inflated reservation displaces relatively more useful airtime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_nav_tcp import sweep
+from repro.phy.params import dot11a
+from repro.stats import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+    return sweep(
+        quick,
+        phy=dot11a(6.0),
+        name="Figure 5",
+        description=(
+            "Goodput of two competing TCP flows NS-NR and GS-GR while GR "
+            "inflates NAV on CTS / RTS+CTS / ACK / all frames (802.11a)"
+        ),
+    )

@@ -1,0 +1,34 @@
+"""Table VIII (testbed): ACK-spoofing emulation under TCP.
+
+One sender, two receivers; the sender's MAC retransmissions toward the
+victim are disabled (what a perfectly successful spoofer achieves).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import RunSettings
+from repro.stats import ExperimentResult, median_over_seeds
+from repro.testbed.emulation import table8_spoof_emulation_tcp
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+    settings = RunSettings.for_mode(quick)
+    result = ExperimentResult(
+        name="Table VIII",
+        description=(
+            "TCP goodput (Mbps), testbed emulation of ACK spoofing: MAC "
+            "retransmissions disabled toward R2 (the victim); 802.11a, "
+            "no RTS/CTS; R1 plays the greedy receiver"
+        ),
+        columns=["case", "goodput_GR", "goodput_NR"],
+    )
+    for case, greedy in (("no GR", False), ("1 GR", True)):
+        med = median_over_seeds(
+            lambda seed: table8_spoof_emulation_tcp(
+                seed=seed, greedy=greedy, duration_s=settings.duration_s
+            ),
+            settings.seeds,
+        )
+        result.add_row(case=case, goodput_GR=med["R1"], goodput_NR=med["R2"])
+    return result

@@ -1,0 +1,34 @@
+"""Table IX (testbed): fake-ACK emulation under UDP.
+
+Two senders over lossy links; the greedy receiver's sender has
+CW_max clamped to CW_min, so losses never escalate its backoff.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import RunSettings
+from repro.stats import ExperimentResult, median_over_seeds
+from repro.testbed.emulation import table9_fake_ack_emulation_udp
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+    settings = RunSettings.for_mode(quick)
+    result = ExperimentResult(
+        name="Table IX",
+        description=(
+            "UDP goodput (Mbps), testbed emulation of fake ACKs: CW_max "
+            "clamped to CW_min for R1's sender (802.11a, no RTS/CTS, lossy "
+            "links); R1 plays the greedy receiver"
+        ),
+        columns=["case", "goodput_GR", "goodput_NR"],
+    )
+    for case, greedy in (("no GR", False), ("1 GR", True)):
+        med = median_over_seeds(
+            lambda seed: table9_fake_ack_emulation_udp(
+                seed=seed, greedy=greedy, duration_s=settings.duration_s
+            ),
+            settings.seeds,
+        )
+        result.add_row(case=case, goodput_GR=med["R1"], goodput_NR=med["R2"])
+    return result

@@ -1,0 +1,24 @@
+"""IEEE 802.11 DCF MAC layer.
+
+Implements the full DCF access cycle the paper's misbehaviors exploit:
+virtual (NAV) + physical carrier sense, DIFS/EIFS deferral, slotted binary
+exponential backoff with freeze/resume, optional RTS/CTS, SIFS-separated
+responses, retry limits and contention-window doubling.
+"""
+
+from repro.mac.frames import Frame, FrameKind
+from repro.mac.policy import ReceiverPolicy
+from repro.mac.stats import MacStats
+from repro.mac.dcf import DcfMac
+from repro.mac.autorate import ArfRateController, DOT11A_RATES, DOT11B_RATES
+
+__all__ = [
+    "Frame",
+    "FrameKind",
+    "ReceiverPolicy",
+    "MacStats",
+    "DcfMac",
+    "ArfRateController",
+    "DOT11A_RATES",
+    "DOT11B_RATES",
+]

@@ -1,0 +1,111 @@
+"""Auto Rate Fallback (ARF) — the paper's future-work extension.
+
+The paper's conclusion (Section IX) predicts how rate adaptation interacts
+with the misbehaviors:
+
+* **Fake ACKs** (misbehavior 3) *hurt* the greedy receiver under auto-rate:
+  the faked feedback makes the sender step *up* to modulations the channel
+  cannot support, so the greedy flow drowns in corruption.
+* **ACK spoofing** (misbehavior 2) gets *worse* for the victim: spoofed ACKs
+  keep the victim's sender at a rate the victim cannot actually receive, so
+  the sender never falls back and the victim's losses compound.
+
+ARF (Kamerman & Monteban) is the classic 802.11 rate-adaptation scheme: step
+up after N consecutive ACKed transmissions, step down after M consecutive
+failures, and immediately fall back if the first "probe" transmission at a
+new rate fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: 802.11b data rates in Mbps.
+DOT11B_RATES = (1.0, 2.0, 5.5, 11.0)
+#: 802.11a data rates in Mbps (the subset most drivers probe).
+DOT11A_RATES = (6.0, 12.0, 24.0, 36.0, 48.0, 54.0)
+
+
+@dataclass
+class _DstState:
+    index: int
+    successes: int = 0
+    failures: int = 0
+    probing: bool = False  # first transmission after a step up
+
+
+class ArfRateController:
+    """Per-destination ARF state machine.
+
+    Install on a :class:`repro.mac.DcfMac` as ``mac.rate_controller``; the
+    MAC calls :meth:`rate_for` when building each data frame and reports
+    outcomes through :meth:`on_success` / :meth:`on_failure`.
+    """
+
+    def __init__(
+        self,
+        rates: tuple[float, ...] = DOT11B_RATES,
+        success_threshold: int = 10,
+        failure_threshold: int = 2,
+        initial_index: int | None = None,
+    ) -> None:
+        if not rates or list(rates) != sorted(rates):
+            raise ValueError("rates must be a non-empty ascending sequence")
+        if success_threshold < 1 or failure_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.rates = tuple(float(r) for r in rates)
+        self.success_threshold = success_threshold
+        self.failure_threshold = failure_threshold
+        self.initial_index = (
+            len(self.rates) - 1 if initial_index is None else initial_index
+        )
+        if not 0 <= self.initial_index < len(self.rates):
+            raise ValueError("initial rate index out of range")
+        self._state: dict[str, _DstState] = {}
+        self.step_ups = 0
+        self.step_downs = 0
+
+    def _dst(self, dst: str) -> _DstState:
+        state = self._state.get(dst)
+        if state is None:
+            state = _DstState(index=self.initial_index)
+            self._state[dst] = state
+        return state
+
+    def rate_for(self, dst: str) -> float:
+        """Current transmission rate toward ``dst`` (Mbps)."""
+        return self.rates[self._dst(dst).index]
+
+    def on_success(self, dst: str) -> None:
+        """Record an ACKed transmission toward ``dst`` (may step the rate up)."""
+        state = self._dst(dst)
+        state.failures = 0
+        state.probing = False
+        state.successes += 1
+        if (
+            state.successes >= self.success_threshold
+            and state.index < len(self.rates) - 1
+        ):
+            state.index += 1
+            state.successes = 0
+            state.probing = True  # next transmission probes the new rate
+            self.step_ups += 1
+
+    def on_failure(self, dst: str) -> None:
+        """Record a failed transmission toward ``dst`` (may step the rate down)."""
+        state = self._dst(dst)
+        state.successes = 0
+        if state.probing:
+            # The probe at the new rate failed: fall straight back.
+            state.probing = False
+            state.failures = 0
+            if state.index > 0:
+                state.index -= 1
+                self.step_downs += 1
+            return
+        state.failures += 1
+        if state.failures >= self.failure_threshold:
+            state.failures = 0
+            if state.index > 0:
+                state.index -= 1
+                self.step_downs += 1

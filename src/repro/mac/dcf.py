@@ -1,0 +1,463 @@
+"""IEEE 802.11 DCF state machine.
+
+One :class:`DcfMac` per station.  Implements, per IEEE 802.11-1999 and the
+paper's Section II description:
+
+* physical carrier sense (from the radio) and virtual carrier sense (NAV),
+* DIFS deferral (EIFS after a corrupted reception), slotted backoff drawn
+  uniformly from ``[0, CW]``, frozen while the medium is busy,
+* binary exponential backoff: CW doubles after each failed transmission up to
+  ``CW_max`` and resets to ``CW_min`` on success,
+* optional RTS/CTS exchange, SIFS-separated CTS/DATA/ACK responses,
+* retry limits (short for RTS, long for data) with packet drop at the limit,
+* NAV updates from overheard frames — only when the frame is *not* addressed
+  to this station and only when the new value exceeds the current one
+  (the rule greedy receivers exploit, Section IV-A).
+
+Misbehavior hooks are delegated to the installed
+:class:`repro.mac.policy.ReceiverPolicy`; detection/mitigation hooks (GRC,
+Section VII) are the optional ``nav_validator`` and ``ack_inspector``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.mac.frames import (
+    Frame,
+    FrameKind,
+    ack_duration,
+    cts_duration_from_rts,
+    data_duration,
+    frame_size,
+    rts_duration,
+)
+from repro.mac.policy import ReceiverPolicy
+from repro.mac.stats import MacStats
+from repro.phy.medium import Radio
+from repro.phy.params import PhyParams
+from repro.sim.engine import Event, Simulator
+
+# MAC states.
+IDLE = "IDLE"  # nothing to transmit
+CONTEND = "CONTEND"  # deferring / backing off toward a transmission
+WAIT_CTS = "WAIT_CTS"  # RTS sent, awaiting CTS
+SEND_DATA = "SEND_DATA"  # CTS received, data transmission queued at SIFS
+WAIT_ACK = "WAIT_ACK"  # data sent, awaiting ACK
+
+
+class _Msdu:
+    """One queued upper-layer packet."""
+
+    __slots__ = ("payload", "dst", "size_bytes", "seq")
+
+    def __init__(self, payload: Any, dst: str, size_bytes: int, seq: int):
+        self.payload = payload
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.seq = seq
+
+
+class DcfMac:
+    """802.11 DCF MAC for one station."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyParams,
+        radio: Radio,
+        rng: random.Random,
+        policy: ReceiverPolicy | None = None,
+        rts_enabled: bool = True,
+        queue_limit: int = 50,
+        retransmissions_enabled: bool = True,
+        cw_min: int | None = None,
+        cw_max: int | None = None,
+        eifs_enabled: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.phy = phy
+        self.radio = radio
+        radio.mac = self
+        self.name = radio.name
+        self.rng = rng
+        self.policy = policy or ReceiverPolicy()
+        self.policy.attach(self)
+        self.rts_enabled = rts_enabled
+        self.queue_limit = queue_limit
+        #: False emulates the testbed's "disable MAC retransmissions" trick
+        #: used to study ACK spoofing (Table VIII).
+        self.retransmissions_enabled = retransmissions_enabled
+        #: Destinations toward which MAC retransmission is disabled — the
+        #: per-victim variant of the same testbed emulation.
+        self.no_retransmit_to: set[str] = set()
+        #: Per-destination CW_max override: ``{dst: cw_min}`` emulates the
+        #: testbed's fake-ACK study (Table IX), where the sender never backs
+        #: off when transmitting to the greedy receiver.
+        self.cw_max_to: dict[str, int] = {}
+        self.cw_min = phy.cw_min if cw_min is None else cw_min
+        self.cw_max = phy.cw_max if cw_max is None else cw_max
+        #: EIFS deferral after corrupted receptions (802.11 default: on).
+        #: Exposed for the ablation study of the fake-ACK dynamics.
+        self.eifs_enabled = eifs_enabled
+
+        # GRC hooks (Section VII).  ``nav_validator`` corrects overheard NAVs;
+        # ``ack_inspector`` vets incoming MAC ACKs for spoofing.
+        self.nav_validator: Any = None
+        self.ack_inspector: Any = None
+        #: Optional per-destination rate adaptation (ARF); None = fixed rate.
+        self.rate_controller: Any = None
+
+        # Upper-layer callbacks.
+        self.on_deliver: Callable[[Any, str], None] | None = None
+        self.on_msdu_sent: Callable[[Any, str], None] | None = None
+        self.on_msdu_dropped: Callable[[Any, str], None] | None = None
+
+        self.stats = MacStats()
+
+        self._queue: deque[_Msdu] = deque()
+        self._state = IDLE
+        self.cw = self.cw_min
+        self._short_retries = 0
+        self._long_retries = 0
+        self._seq = 0
+        self._backoff_slots: int | None = None
+        self._access_event: Event | None = None
+        self._access_start = 0.0
+        self._access_ifs = 0.0
+        self._timeout_event: Event | None = None
+        self._use_eifs = False
+        self.nav_until = 0.0
+        self._nav_event: Event | None = None
+        self._rx_seen: dict[str, set[int]] = {}
+        self._last_tx_kind: FrameKind | None = None
+
+    # ------------------------------------------------------------------ API --
+
+    def send(self, payload: Any, dst: str, size_bytes: int) -> bool:
+        """Enqueue one MSDU for ``dst``.  Returns False on queue overflow."""
+        if len(self._queue) >= self.queue_limit:
+            self.stats.queue_drops += 1
+            return False
+        self._queue.append(_Msdu(payload, dst, size_bytes, self._next_seq()))
+        if self._state == IDLE:
+            self._state = CONTEND
+            self._try_start_access()
+        return True
+
+    @property
+    def queue_length(self) -> int:
+        """Number of MSDUs waiting in the interface queue."""
+        return len(self._queue)
+
+    @property
+    def state(self) -> str:
+        """Current DCF state (IDLE/CONTEND/WAIT_CTS/SEND_DATA/WAIT_ACK)."""
+        return self._state
+
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) % (1 << 12)
+        return self._seq
+
+    # -------------------------------------------------------- carrier sense --
+
+    def _medium_idle(self) -> bool:
+        return not self.radio.carrier_busy and self.sim.now >= self.nav_until
+
+    def phy_busy(self) -> None:
+        """Radio reports energy on the channel: freeze any countdown."""
+        self._freeze_access()
+
+    def phy_idle(self) -> None:
+        """Radio reports the channel went quiet."""
+        self._try_start_access()
+
+    def _update_nav(self, until: float) -> None:
+        if until <= self.nav_until or until <= self.sim.now:
+            return
+        self.nav_until = until
+        self._freeze_access()
+        if self._nav_event is not None:
+            self.sim.cancel(self._nav_event)
+        self._nav_event = self.sim.schedule_at(until, self._nav_expired)
+
+    def _nav_expired(self) -> None:
+        self._nav_event = None
+        self._try_start_access()
+
+    # ------------------------------------------------------- backoff engine --
+
+    def _try_start_access(self) -> None:
+        if self._state != CONTEND or self._access_event is not None:
+            return
+        if not self._medium_idle():
+            return
+        if self._backoff_slots is None:
+            self._backoff_slots = self.rng.randint(0, self.cw)
+        ifs = self.phy.eifs if self._use_eifs else self.phy.difs
+        self._access_start = self.sim.now
+        self._access_ifs = ifs
+        delay = ifs + self._backoff_slots * self.phy.slot_time
+        self._access_event = self.sim.schedule(delay, self._access_granted)
+
+    def _freeze_access(self) -> None:
+        if self._access_event is None:
+            return
+        elapsed = self.sim.now - self._access_start
+        if elapsed > self._access_ifs:
+            consumed = int((elapsed - self._access_ifs) // self.phy.slot_time)
+            assert self._backoff_slots is not None
+            self._backoff_slots = max(0, self._backoff_slots - consumed)
+        self.sim.cancel(self._access_event)
+        self._access_event = None
+
+    def _access_granted(self) -> None:
+        self._access_event = None
+        if not self._queue:  # defensive: nothing left to send
+            self._state = IDLE
+            return
+        msdu = self._queue[0]
+        self.stats.sample_cw(self.cw)
+        if self.rts_enabled:
+            self._send_rts(msdu)
+        else:
+            self._send_data(msdu)
+
+    # ----------------------------------------------------------- transmit ----
+
+    def _airtime(self, frame: Frame) -> float:
+        if frame.kind is FrameKind.DATA:
+            rate = frame.rate if frame.rate is not None else self.phy.data_rate
+        else:
+            rate = self.phy.basic_rate
+        return self.phy.airtime(frame.size_bytes, rate)
+
+    def _transmit(self, frame: Frame) -> None:
+        self._last_tx_kind = frame.kind
+        self.radio.transmit(frame, self._airtime(frame))
+
+    def _send_rts(self, msdu: _Msdu) -> None:
+        nav = rts_duration(self.phy, msdu.size_bytes)
+        frame = Frame(FrameKind.RTS, self.name, msdu.dst, nav, frame_size(FrameKind.RTS))
+        frame.duration = self.policy.outgoing_nav(frame)
+        self._state = WAIT_CTS
+        self.stats.tx_rts += 1
+        self._transmit(frame)
+
+    def _send_data(self, msdu: _Msdu) -> None:
+        rate = None
+        if self.rate_controller is not None:
+            rate = self.rate_controller.rate_for(msdu.dst)
+        frame = Frame(
+            FrameKind.DATA,
+            self.name,
+            msdu.dst,
+            data_duration(self.phy),
+            frame_size(FrameKind.DATA, msdu.size_bytes),
+            seq=msdu.seq,
+            retry=self._long_retries > 0 or self._short_retries > 0,
+            payload=msdu.payload,
+            rate=rate,
+        )
+        frame.duration = self.policy.outgoing_nav(frame)
+        self._state = WAIT_ACK
+        self.stats.tx_data += 1
+        self.stats.data_attempts_by_dst[msdu.dst] += 1
+        self._transmit(frame)
+
+    def phy_tx_done(self) -> None:
+        """Our own transmission ended: arm the matching response timeout."""
+        kind = self._last_tx_kind
+        self._last_tx_kind = None
+        if kind is FrameKind.RTS and self._state == WAIT_CTS:
+            self._timeout_event = self.sim.schedule(
+                self.phy.cts_timeout(), self._cts_timeout
+            )
+        elif kind is FrameKind.DATA and self._state == WAIT_ACK:
+            self._timeout_event = self.sim.schedule(
+                self.phy.ack_timeout(), self._ack_timeout
+            )
+
+    # ------------------------------------------------------------ timeouts ---
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self.sim.cancel(self._timeout_event)
+            self._timeout_event = None
+
+    def _cts_timeout(self) -> None:
+        self._timeout_event = None
+        self._short_retries += 1
+        self._retry(self._short_retries > self.phy.short_retry_limit)
+
+    def _ack_timeout(self) -> None:
+        self._timeout_event = None
+        if self._queue:
+            self.stats.ack_failures_by_dst[self._queue[0].dst] += 1
+            if self.rate_controller is not None:
+                self.rate_controller.on_failure(self._queue[0].dst)
+        limit = (
+            self.phy.long_retry_limit if self.rts_enabled else self.phy.short_retry_limit
+        )
+        self._long_retries += 1
+        exceeded = self._long_retries > limit
+        no_retransmit = not self.retransmissions_enabled or (
+            self._queue and self._queue[0].dst in self.no_retransmit_to
+        )
+        if no_retransmit:
+            # Testbed emulation of spoofed ACKs: give up after one attempt but
+            # do not double CW (the sender believes the frame was delivered).
+            self._complete_current(success=True)
+            return
+        self._retry(exceeded)
+
+    def _retry(self, drop: bool) -> None:
+        self.stats.retries += 1
+        cw_cap = self.cw_max
+        if self._queue and self._queue[0].dst in self.cw_max_to:
+            cw_cap = self.cw_max_to[self._queue[0].dst]
+        self.cw = min(2 * (self.cw + 1) - 1, cw_cap)
+        if drop:
+            self.stats.drops += 1
+            msdu = self._queue.popleft()
+            self._reset_exchange()
+            if self.on_msdu_dropped is not None:
+                self.on_msdu_dropped(msdu.payload, msdu.dst)
+            self._next_packet()
+            return
+        self._backoff_slots = None
+        self._state = CONTEND
+        self._try_start_access()
+
+    def _reset_exchange(self) -> None:
+        self.cw = self.cw_min
+        self._short_retries = 0
+        self._long_retries = 0
+        self._backoff_slots = None
+
+    def _complete_current(self, success: bool) -> None:
+        self._cancel_timeout()
+        msdu = self._queue.popleft()
+        self._reset_exchange()
+        if success:
+            self.stats.msdu_sent += 1
+            if self.rate_controller is not None:
+                self.rate_controller.on_success(msdu.dst)
+            if self.on_msdu_sent is not None:
+                self.on_msdu_sent(msdu.payload, msdu.dst)
+        elif self.on_msdu_dropped is not None:
+            self.on_msdu_dropped(msdu.payload, msdu.dst)
+        self._next_packet()
+
+    def _next_packet(self) -> None:
+        self._state = CONTEND if self._queue else IDLE
+        self._try_start_access()
+
+    # -------------------------------------------------------------- receive --
+
+    def phy_receive(self, frame: Frame, corrupted: bool, addr_ok: bool, rssi_db: float) -> None:
+        """Handle a frame delivered by the radio (possibly corrupted)."""
+        if corrupted:
+            self._use_eifs = self.eifs_enabled
+            if (
+                addr_ok
+                and frame.kind is FrameKind.DATA
+                and frame.dst == self.name
+            ):
+                self.stats.rx_data_corrupted += 1
+                if self.policy.should_fake_ack(frame):
+                    self.stats.tx_fake_ack += 1
+                    self._schedule_response(self._build_ack(frame))
+            return
+
+        self._use_eifs = False
+        if frame.dst == self.name:
+            self._receive_addressed(frame, rssi_db)
+        else:
+            self._receive_overheard(frame, rssi_db)
+
+    def _receive_addressed(self, frame: Frame, rssi_db: float) -> None:
+        kind = frame.kind
+        if kind is FrameKind.RTS:
+            # Respond with CTS only when virtual carrier sense is idle.
+            if self.sim.now >= self.nav_until:
+                self._schedule_response(self._build_cts(frame))
+            return
+        if kind is FrameKind.DATA:
+            self.stats.rx_data_clean += 1
+            if self.ack_inspector is not None:
+                self.ack_inspector.observe_data(frame.src, rssi_db, self.sim.now)
+            self._schedule_response(self._build_ack(frame))
+            self._deliver_up(frame)
+            return
+        if kind is FrameKind.CTS:
+            if self._state == WAIT_CTS:
+                self._cancel_timeout()
+                self._state = SEND_DATA
+                self.sim.schedule(self.phy.sifs, self._data_after_cts)
+            return
+        if kind is FrameKind.ACK:
+            if self._state != WAIT_ACK:
+                return
+            if self.ack_inspector is not None and self.ack_inspector.is_spoofed(
+                frame, rssi_db, self.sim.now
+            ):
+                self.stats.acks_ignored_by_grc += 1
+                return  # let the ACK timeout fire and retransmit as we should
+            self._complete_current(success=True)
+
+    def _receive_overheard(self, frame: Frame, rssi_db: float) -> None:
+        duration = frame.duration
+        if self.nav_validator is not None:
+            duration = self.nav_validator.observe_and_validate(
+                frame, self.sim.now, rssi_db
+            )
+        self._update_nav(self.sim.now + duration)
+        if frame.kind is FrameKind.DATA and self.policy.should_spoof_ack(frame):
+            spoof = self._build_ack(frame, impersonate=frame.dst)
+            self.stats.tx_spoofed_ack += 1
+            self._schedule_response(spoof)
+
+    def _data_after_cts(self) -> None:
+        if self._state != SEND_DATA or not self._queue:
+            return
+        self._send_data(self._queue[0])
+
+    def _deliver_up(self, frame: Frame) -> None:
+        seen = self._rx_seen.setdefault(frame.src, set())
+        if frame.seq in seen:
+            self.stats.rx_duplicates += 1
+            return
+        if len(seen) > 4096:
+            seen.clear()
+        seen.add(frame.seq)
+        if self.on_deliver is not None:
+            self.on_deliver(frame.payload, frame.src)
+
+    # ------------------------------------------------------------ responses --
+
+    def _build_cts(self, rts: Frame) -> Frame:
+        nav = cts_duration_from_rts(self.phy, rts.duration)
+        cts = Frame(FrameKind.CTS, self.name, rts.src, nav, frame_size(FrameKind.CTS))
+        cts.duration = self.policy.outgoing_nav(cts)
+        return cts
+
+    def _build_ack(self, data: Frame, impersonate: str | None = None) -> Frame:
+        src = impersonate if impersonate is not None else self.name
+        ack = Frame(FrameKind.ACK, src, data.src, ack_duration(), frame_size(FrameKind.ACK))
+        ack.duration = self.policy.outgoing_nav(ack)
+        return ack
+
+    def _schedule_response(self, frame: Frame) -> None:
+        self.sim.schedule(self.phy.sifs, self._send_response, frame)
+
+    def _send_response(self, frame: Frame) -> None:
+        if self.radio.transmitting:
+            return  # half-duplex conflict: the response is lost
+        if frame.kind is FrameKind.CTS:
+            self.stats.tx_cts += 1
+        elif frame.kind is FrameKind.ACK:
+            self.stats.tx_ack += 1
+        self._transmit(frame)

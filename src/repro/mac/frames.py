@@ -1,0 +1,134 @@
+"""MAC frame types and duration (NAV) arithmetic.
+
+The ``duration`` field of each frame is the NAV reservation in microseconds —
+the value greedy receivers inflate.  Helper functions compute the *correct*
+duration values for each frame of an exchange, which the GRC NAV validator
+(Section VII-A) uses as its expectation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.phy.params import (
+    ACK_SIZE,
+    CTS_SIZE,
+    DATA_HEADER_SIZE,
+    MAX_NAV_US,
+    RTS_SIZE,
+    PhyParams,
+)
+
+
+class FrameKind(enum.Enum):
+    """The four 802.11 DCF frame types the simulator models."""
+
+    RTS = "RTS"
+    CTS = "CTS"
+    DATA = "DATA"
+    ACK = "ACK"
+
+
+class Frame:
+    """One MAC frame.
+
+    ``src``/``dst`` are node names.  For ACK frames ``dst`` identifies the
+    station being acknowledged and ``src`` the *claimed* responder — a greedy
+    receiver spoofing an ACK on behalf of a normal receiver sets ``src`` to
+    the impersonated station, exactly because 802.11 ACK frames carry no
+    transmitter address that could give the spoofer away.
+    """
+
+    __slots__ = (
+        "kind",
+        "src",
+        "dst",
+        "duration",
+        "size_bytes",
+        "seq",
+        "retry",
+        "payload",
+        "rate",
+    )
+
+    def __init__(
+        self,
+        kind: FrameKind,
+        src: str,
+        dst: str,
+        duration: float,
+        size_bytes: int,
+        seq: int = 0,
+        retry: bool = False,
+        payload: Any = None,
+        rate: float | None = None,
+    ) -> None:
+        if duration < 0:
+            raise ValueError(f"negative NAV duration: {duration}")
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.duration = min(float(duration), float(MAX_NAV_US))
+        self.size_bytes = size_bytes
+        self.seq = seq
+        self.retry = retry
+        self.payload = payload
+        #: PHY rate (Mbps) this frame is modulated at; None = the PHY default.
+        #: Set by rate-adapting senders so the medium can apply rate-dependent
+        #: error rates (the auto-rate extension, Section IX future work).
+        self.rate = rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Frame({self.kind.value} {self.src}->{self.dst} "
+            f"nav={self.duration:.0f}us size={self.size_bytes}B seq={self.seq})"
+        )
+
+
+def rts_duration(phy: PhyParams, payload_bytes: int) -> float:
+    """NAV carried by an RTS: CTS + DATA + ACK plus three SIFS gaps."""
+    return (
+        3 * phy.sifs + phy.cts_time + phy.data_time(payload_bytes) + phy.ack_time
+    )
+
+
+def cts_duration_from_rts(phy: PhyParams, rts_nav: float) -> float:
+    """NAV carried by a CTS, derived from the soliciting RTS's NAV."""
+    return max(0.0, rts_nav - phy.sifs - phy.cts_time)
+
+
+def data_duration(phy: PhyParams) -> float:
+    """NAV carried by a (non-fragmented) data frame: SIFS + ACK."""
+    return phy.sifs + phy.ack_time
+
+
+def ack_duration() -> float:
+    """NAV carried by a final ACK: zero without fragmentation."""
+    return 0.0
+
+
+def expected_cts_nav(phy: PhyParams, overheard_rts_nav: float) -> float:
+    """What a validator that heard the RTS expects the CTS NAV to be."""
+    return cts_duration_from_rts(phy, overheard_rts_nav)
+
+
+def max_cts_nav(phy: PhyParams, mtu_bytes: int = 1500) -> float:
+    """Upper bound on a legitimate CTS NAV assuming ``mtu_bytes`` payloads.
+
+    Used by validators out of the sender's range (Section VII-A): they cannot
+    know the true payload size, so they bound the reservation by the largest
+    Internet packet (Ethernet MTU, 1500 bytes).
+    """
+    return 2 * phy.sifs + phy.data_time(mtu_bytes) + phy.ack_time
+
+
+def frame_size(kind: FrameKind, payload_bytes: int = 0) -> int:
+    """Size in bytes of a frame of ``kind`` carrying ``payload_bytes``."""
+    if kind is FrameKind.RTS:
+        return RTS_SIZE
+    if kind is FrameKind.CTS:
+        return CTS_SIZE
+    if kind is FrameKind.ACK:
+        return ACK_SIZE
+    return DATA_HEADER_SIZE + payload_bytes

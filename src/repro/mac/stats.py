@@ -1,0 +1,63 @@
+"""Per-MAC counters and samples used by the paper's figures.
+
+Figure 2 plots the *average contention window* of each sender; Figure 3 needs
+the full CW distribution at transmission attempts (to feed Equations 1-2) and
+the RTS sending counts; several tables need retry/drop accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MacStats:
+    """Counters for one MAC instance."""
+
+    tx_rts: int = 0
+    tx_cts: int = 0
+    tx_data: int = 0
+    tx_ack: int = 0
+    tx_spoofed_ack: int = 0
+    tx_fake_ack: int = 0
+    retries: int = 0
+    drops: int = 0
+    queue_drops: int = 0
+    msdu_sent: int = 0
+    rx_data_clean: int = 0
+    rx_data_corrupted: int = 0
+    rx_duplicates: int = 0
+    acks_ignored_by_grc: int = 0
+    cw_samples: list[int] = field(default_factory=list)
+    cw_histogram: Counter = field(default_factory=Counter)
+    # Per-destination data-transmission attempts and ACK failures, used by the
+    # GRC fake-ACK detector to estimate per-transmission MAC loss rate.
+    data_attempts_by_dst: Counter = field(default_factory=Counter)
+    ack_failures_by_dst: Counter = field(default_factory=Counter)
+
+    def mac_loss_rate(self, dst: str) -> float:
+        """Observed per-transmission loss rate of data frames toward ``dst``."""
+        attempts = self.data_attempts_by_dst[dst]
+        if attempts == 0:
+            return 0.0
+        return self.ack_failures_by_dst[dst] / attempts
+
+    def sample_cw(self, cw: int) -> None:
+        """Record the contention window in force at a transmission attempt."""
+        self.cw_samples.append(cw)
+        self.cw_histogram[cw] += 1
+
+    @property
+    def average_cw(self) -> float:
+        """Mean CW over all attempts (Figure 2 / Table IV metric)."""
+        if not self.cw_samples:
+            return 0.0
+        return sum(self.cw_samples) / len(self.cw_samples)
+
+    def cw_distribution(self) -> dict[int, float]:
+        """Empirical Pr[CW = m] over transmission attempts (Equations 1-2)."""
+        total = sum(self.cw_histogram.values())
+        if total == 0:
+            return {}
+        return {cw: count / total for cw, count in sorted(self.cw_histogram.items())}

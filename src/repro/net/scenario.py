@@ -1,0 +1,275 @@
+"""Scenario builder: one-stop assembly of simulator, medium, nodes and flows.
+
+Every experiment in :mod:`repro.experiments` builds on this.  A scenario owns
+the event engine, RNG streams, the wireless medium, the nodes (wireless
+stations, APs, wired remote hosts) and a shared GRC detection report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.detection import (
+    DetectionReport,
+    NavValidator,
+    RssiSpoofDetector,
+)
+from repro.core.greedy import GreedyConfig, GreedyReceiverPolicy
+from repro.mac.dcf import DcfMac
+from repro.mac.policy import ReceiverPolicy
+from repro.net.node import Node
+from repro.net.wired import WiredLink
+from repro.phy.error import BitErrorModel
+from repro.phy.medium import Medium
+from repro.phy.params import PhyParams, dot11b
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+US_PER_S = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class WirelessNodeSpec:
+    """Declarative description of one station (used by topology helpers)."""
+
+    name: str
+    position: tuple[float, float] = (0.0, 0.0)
+    greedy: GreedyConfig | None = None
+
+
+class Scenario:
+    """A runnable network scenario."""
+
+    def __init__(
+        self,
+        phy: PhyParams | None = None,
+        seed: int = 0,
+        rts_enabled: bool = True,
+        capture_enabled: bool = True,
+        default_ber: float = 0.0,
+        ranges: tuple[float, float] | None = None,
+        rssi_jitter_db: float = 0.0,
+    ) -> None:
+        self.phy = phy if phy is not None else dot11b()
+        self.sim = Simulator()
+        self.streams = RngStreams(seed)
+        self.rts_enabled = rts_enabled
+        self.error_model = BitErrorModel(default_ber=default_ber)
+        jitter = None
+        if rssi_jitter_db > 0:
+            sigma = rssi_jitter_db
+            jitter = lambda rng: rng.gauss(0.0, sigma)  # noqa: E731
+        self.medium = Medium(
+            self.sim,
+            self.phy,
+            self.streams.stream("phy.medium"),
+            error_model=self.error_model,
+            capture_enabled=capture_enabled,
+            rssi_jitter=jitter,
+        )
+        if ranges is not None:
+            self.medium.configure_ranges(*ranges)
+        self.nodes: dict[str, Node] = {}
+        self.macs: dict[str, DcfMac] = {}
+        self.policies: dict[str, ReceiverPolicy] = {}
+        self.report = DetectionReport()
+        self._auto_position = 0
+
+    # ------------------------------------------------------------- nodes ----
+
+    def add_wireless_node(
+        self,
+        name: str,
+        position: tuple[float, float] | None = None,
+        greedy: GreedyConfig | None = None,
+        rts_enabled: bool | None = None,
+        retransmissions_enabled: bool = True,
+        cw_min: int | None = None,
+        cw_max: int | None = None,
+        queue_limit: int = 50,
+        eifs_enabled: bool = True,
+    ) -> Node:
+        """Create a station; ``greedy`` installs a misbehaving receiver policy."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name: {name}")
+        if position is None:
+            # Default: co-located stations.  All received powers are then
+            # equal, so capture never biases collisions — the idealized
+            # "all nodes within communication range" setting of Section V.
+            # Scenarios that rely on capture or ranges set positions
+            # explicitly.
+            position = (0.0, 0.0)
+        from repro.phy.medium import Radio  # local import avoids cycle at import time
+
+        radio = Radio(self.medium, name, position)
+        if greedy is not None:
+            policy: ReceiverPolicy = GreedyReceiverPolicy(
+                greedy, self.streams.stream(f"greedy.{name}")
+            )
+        else:
+            policy = ReceiverPolicy()
+        mac = DcfMac(
+            self.sim,
+            self.phy,
+            radio,
+            self.streams.stream(f"mac.{name}"),
+            policy=policy,
+            rts_enabled=self.rts_enabled if rts_enabled is None else rts_enabled,
+            queue_limit=queue_limit,
+            retransmissions_enabled=retransmissions_enabled,
+            cw_min=cw_min,
+            cw_max=cw_max,
+            eifs_enabled=eifs_enabled,
+        )
+        node = Node(name)
+        node.attach_mac(mac)
+        self.nodes[name] = node
+        self.macs[name] = mac
+        self.policies[name] = policy
+        return node
+
+    def add_wired_node(self, name: str) -> Node:
+        """Create a node with no radio (a remote Internet host)."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name: {name}")
+        node = Node(name)
+        self.nodes[name] = node
+        return node
+
+    def wired_link(
+        self, a: str, b: str, one_way_delay_us: float, bandwidth_bps: float | None = None
+    ) -> WiredLink:
+        """Connect two nodes with a fixed-latency wired link."""
+        link = WiredLink(
+            self.sim, self.nodes[a], self.nodes[b], one_way_delay_us, bandwidth_bps
+        )
+        return link
+
+    def route_remote_flow(self, remote: str, ap: str, client: str, link: WiredLink) -> None:
+        """Static routes for remote-sender traffic: remote <-(wire)-> AP <-> client."""
+        self.nodes[remote].add_wired_route(client, link)
+        self.nodes[ap].add_wireless_route(client)
+        self.nodes[ap].add_wired_route(remote, link)
+        self.nodes[client].add_wireless_route(remote, next_hop=ap)
+
+    # ------------------------------------------------------------- flows ----
+
+    def saturating_rate_bps(self) -> float:
+        """A CBR rate comfortably above channel capacity."""
+        return self.phy.data_rate * 1e6
+
+    def udp_flow(
+        self,
+        src: str,
+        dst: str,
+        rate_bps: float | None = None,
+        packet_size: int = 1024,
+        flow_id: str | None = None,
+    ):
+        """CBR/UDP flow between two wireless nodes (auto-routed)."""
+        from repro.transport.udp import CbrSource, UdpSink
+
+        if rate_bps is None:
+            rate_bps = self.saturating_rate_bps()
+        if flow_id is None:
+            flow_id = f"udp:{src}->{dst}"
+        self._auto_route(src, dst)
+        source = CbrSource(
+            self.sim,
+            self.nodes[src],
+            flow_id,
+            dst,
+            rate_bps,
+            packet_size,
+            rng=self.streams.stream(f"cbr.{flow_id}"),
+        )
+        sink = UdpSink(self.sim, self.nodes[dst], flow_id)
+        return source, sink
+
+    def tcp_flow(
+        self,
+        src: str,
+        dst: str,
+        flow_id: str | None = None,
+        auto_route: bool = True,
+        **tcp_kwargs: Any,
+    ):
+        """TCP flow; for remote senders call :meth:`route_remote_flow` first
+        and pass ``auto_route=False``."""
+        from repro.transport.tcp import TcpReceiver, TcpSender
+
+        if flow_id is None:
+            flow_id = f"tcp:{src}->{dst}"
+        if auto_route:
+            self._auto_route(src, dst)
+        sender = TcpSender(
+            self.sim, self.nodes[src], flow_id, dst, **tcp_kwargs
+        )
+        receiver = TcpReceiver(self.sim, self.nodes[dst], flow_id, src)
+        return sender, receiver
+
+    def _auto_route(self, a: str, b: str) -> None:
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        if node_a.mac is not None and node_b.mac is not None:
+            node_a.add_wireless_route(b)
+            node_b.add_wireless_route(a)
+
+    # --------------------------------------------------------------- GRC ----
+
+    def enable_nav_validation(
+        self,
+        node_names: list[str] | None = None,
+        mtu_bytes: int = 1500,
+        tolerance_us: float = 5.0,
+    ) -> None:
+        """Install the GRC NAV validator on the given (default: all) stations."""
+        for name in node_names if node_names is not None else list(self.macs):
+            self.macs[name].nav_validator = NavValidator(
+                self.phy, name, self.report, mtu_bytes, tolerance_us
+            )
+
+    def enable_spoof_detection(
+        self,
+        sender_names: list[str] | None = None,
+        threshold_db: float = 1.0,
+        min_samples: int = 4,
+    ) -> None:
+        """Install the GRC RSSI spoofed-ACK detector on sender stations."""
+        for name in sender_names if sender_names is not None else list(self.macs):
+            self.macs[name].ack_inspector = RssiSpoofDetector(
+                name,
+                self.report,
+                threshold_db=threshold_db,
+                min_samples=min_samples,
+            )
+
+    def enable_autorate(
+        self,
+        node_names: list[str] | None = None,
+        rates: tuple[float, ...] | None = None,
+        **arf_kwargs,
+    ) -> None:
+        """Install ARF rate adaptation on the given (default: all) stations.
+
+        The default rate ladder follows the scenario's PHY (802.11b or
+        802.11a).  Pair with ``error_model.set_rate_profile`` to make higher
+        rates lossier, which is what makes adaptation meaningful.
+        """
+        from repro.mac.autorate import (
+            ArfRateController,
+            DOT11A_RATES,
+            DOT11B_RATES,
+        )
+
+        if rates is None:
+            rates = DOT11A_RATES if self.phy.ofdm else DOT11B_RATES
+        for name in node_names if node_names is not None else list(self.macs):
+            self.macs[name].rate_controller = ArfRateController(rates, **arf_kwargs)
+
+    # ---------------------------------------------------------------- run ----
+
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation by ``duration_s`` seconds."""
+        self.sim.run(until=self.sim.now + duration_s * US_PER_S)

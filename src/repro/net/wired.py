@@ -1,0 +1,59 @@
+"""Point-to-point wired link with fixed one-way latency.
+
+Substitutes for the paper's Internet path in the remote-TCP-sender scenarios
+(Figures 15 and 16): lossless, high bandwidth, and a configurable one-way
+delay of 2-400 ms.  The only property those experiments depend on is that
+end-to-end recovery costs wireline round trips.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.transport.packets import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class WiredLink:
+    """Bidirectional link between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        one_way_delay_us: float,
+        bandwidth_bps: float | None = None,
+    ) -> None:
+        if one_way_delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.delay_us = one_way_delay_us
+        self.bandwidth_bps = bandwidth_bps
+        self.packets_carried = 0
+        # Per-direction queue drain times for serialization delay.
+        self._free_at: dict[str, float] = {a.name: 0.0, b.name: 0.0}
+
+    def transmit(self, packet: Packet, sender: "Node") -> None:
+        """Carry ``packet`` to the other endpoint after the link delay."""
+        if sender is self.a:
+            receiver = self.b
+        elif sender is self.b:
+            receiver = self.a
+        else:
+            raise ValueError(f"{sender.name} is not an endpoint of this link")
+        self.packets_carried += 1
+        serialization = 0.0
+        if self.bandwidth_bps is not None:
+            serialization = packet.size_bytes * 8 / self.bandwidth_bps * 1e6
+            start = max(self.sim.now, self._free_at[sender.name])
+            self._free_at[sender.name] = start + serialization
+            arrival = start + serialization + self.delay_us
+            self.sim.schedule_at(arrival, receiver._receive, packet, sender.name)
+            return
+        self.sim.schedule(self.delay_us, receiver._receive, packet, sender.name)

@@ -1,0 +1,23 @@
+"""Physical-layer substrate: timing parameters, airtime, propagation, medium.
+
+The PHY models what the paper's ns-2 setup provides: 802.11b (11 Mbps) and
+802.11a (6 Mbps) timing, a broadcast medium with communication and
+interference ranges, the capture effect, and independent-bit-error frame
+corruption.
+"""
+
+from repro.phy.params import PhyParams, dot11a, dot11b
+from repro.phy.error import frame_error_rate, BitErrorModel
+from repro.phy.propagation import PathLossModel
+from repro.phy.medium import Medium, Radio
+
+__all__ = [
+    "PhyParams",
+    "dot11a",
+    "dot11b",
+    "frame_error_rate",
+    "BitErrorModel",
+    "PathLossModel",
+    "Medium",
+    "Radio",
+]

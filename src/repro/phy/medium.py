@@ -1,0 +1,277 @@
+"""Broadcast wireless medium with ranges, capture effect, and corruption.
+
+Every attached :class:`Radio` hears every transmission whose received power
+exceeds its carrier-sense threshold; it can *decode* a frame when the power
+also exceeds the reception threshold.  A radio locks onto the first decodable
+frame (it cannot re-synchronize mid-frame); overlapping arrivals either
+corrupt the locked frame or — when one signal is stronger by the capture
+threshold — are resolved by capture, exactly the semantics the paper relies on
+for ACK spoofing (Section IV-B).
+
+Corrupted frames are *delivered* to the MAC with a ``corrupted`` flag (and a
+model of whether the MAC address fields survived, per the paper's Table I)
+instead of being silently dropped, so that fake-ACK misbehavior and EIFS
+deferral can react to them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.phy.error import BitErrorModel
+from repro.phy.params import PhyParams
+from repro.phy.propagation import (
+    SPEED_OF_LIGHT_M_PER_US,
+    PathLossModel,
+    distance,
+    rss_to_db,
+)
+from repro.sim.engine import Simulator
+
+#: Table I of the paper: fraction of corrupted frames whose destination MAC
+#: address survives, and — among those — whose source address also survives.
+ADDRESS_SURVIVAL = {
+    "802.11b": (1351 / 1367, 1282 / 1351),
+    "802.11a": (6197 / 7376, 5663 / 6197),
+}
+
+
+class _Transmission:
+    """One frame in flight."""
+
+    __slots__ = ("sender", "frame", "start", "end")
+
+    def __init__(self, sender: "Radio", frame: Any, start: float, end: float):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+
+
+class _Lock:
+    """Reception lock: the transmission a radio is currently decoding."""
+
+    __slots__ = ("tx", "rss", "collided")
+
+    def __init__(self, tx: _Transmission, rss: float):
+        self.tx = tx
+        self.rss = rss
+        self.collided = False
+
+
+class Radio:
+    """A half-duplex radio attached to one :class:`Medium`.
+
+    The owning MAC registers itself as ``radio.mac`` and must provide
+    ``phy_busy()``, ``phy_idle()``, ``phy_tx_done()`` and
+    ``phy_receive(frame, corrupted, addr_ok, rssi_db)``.
+    """
+
+    def __init__(
+        self,
+        medium: "Medium",
+        name: str,
+        position: tuple[float, float] = (0.0, 0.0),
+        tx_power: float = 1.0,
+    ) -> None:
+        self.medium = medium
+        self.name = name
+        self.position = position
+        self.tx_power = tx_power
+        self.mac: Any = None
+        self.transmitting = False
+        self._tx_end_time = 0.0
+        self._energy: set[_Transmission] = set()
+        self._lock: Optional[_Lock] = None
+        medium._attach(self)
+
+    # -- transmit path -----------------------------------------------------
+
+    def transmit(self, frame: Any, duration: float) -> None:
+        """Put ``frame`` on the air for ``duration`` microseconds."""
+        self.medium.transmit(self, frame, duration)
+
+    # -- carrier sense -----------------------------------------------------
+
+    @property
+    def carrier_busy(self) -> bool:
+        """Physical carrier sense: energy above threshold or self-transmit."""
+        return self.transmitting or bool(self._energy)
+
+    def _notify_if_transition(self, was_busy: bool) -> None:
+        now_busy = self.carrier_busy
+        if self.mac is None or was_busy == now_busy:
+            return
+        if now_busy:
+            self.mac.phy_busy()
+        else:
+            self.mac.phy_idle()
+
+    # -- medium callbacks ----------------------------------------------------
+
+    def _on_tx_start(self, tx: _Transmission, rss: float, decodable: bool) -> None:
+        was_busy = self.carrier_busy
+        self._energy.add(tx)
+        if not self.transmitting and decodable:
+            if self._lock is None:
+                self._lock = _Lock(tx, rss)
+            else:
+                self._resolve_overlap(tx, rss)
+        elif self._lock is not None and not self.transmitting:
+            # Sub-decodable interference still corrupts an ongoing reception
+            # unless the locked signal captures it.
+            if not self.medium._captures(self._lock.rss, rss):
+                self._lock.collided = True
+        self._notify_if_transition(was_busy)
+
+    def _resolve_overlap(self, tx: _Transmission, rss: float) -> None:
+        lock = self._lock
+        assert lock is not None
+        if self.medium._captures(lock.rss, rss):
+            return  # locked frame is strong enough to survive untouched
+        if self.medium._captures(rss, lock.rss):
+            self._lock = _Lock(tx, rss)  # newcomer captures the receiver
+            return
+        lock.collided = True  # comparable power: garbles the locked frame
+
+    def _on_tx_end(self, tx: _Transmission, rss: float) -> None:
+        was_busy = self.carrier_busy
+        self._energy.discard(tx)
+        lock = self._lock
+        if lock is not None and lock.tx is tx:
+            self._lock = None
+            self._deliver(tx, lock)
+        self._notify_if_transition(was_busy)
+
+    def _deliver(self, tx: _Transmission, lock: _Lock) -> None:
+        self.medium._deliver(tx, self, lock)
+
+    def _begin_transmit(self, end_time: float) -> None:
+        was_busy = self.carrier_busy
+        self.transmitting = True
+        self._tx_end_time = end_time
+        self._lock = None  # half duplex: any reception in progress is lost
+        self._notify_if_transition(was_busy)
+
+    def _end_transmit(self) -> None:
+        was_busy = self.carrier_busy
+        self.transmitting = False
+        self._notify_if_transition(was_busy)
+        if self.mac is not None:
+            self.mac.phy_tx_done()
+
+
+class Medium:
+    """The shared broadcast channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyParams,
+        rng: random.Random,
+        error_model: BitErrorModel | None = None,
+        pathloss: PathLossModel | None = None,
+        capture_enabled: bool = True,
+        propagation_delay: bool = True,
+        rssi_jitter: Callable[[random.Random], float] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.phy = phy
+        self.rng = rng
+        self.error_model = error_model or BitErrorModel()
+        self.pathloss = pathloss or PathLossModel()
+        self.capture_enabled = capture_enabled
+        self.propagation_delay = propagation_delay
+        self.rssi_jitter = rssi_jitter
+        self.radios: list[Radio] = []
+        # With no explicit ranges every node hears and decodes everyone.
+        self.rx_threshold: float = 0.0
+        self.cs_threshold: float = 0.0
+        p_dst, p_src = ADDRESS_SURVIVAL.get(phy.name, (1.0, 1.0))
+        self.addr_dst_survival = p_dst
+        self.addr_src_survival = p_src
+        self.frames_sent = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def _attach(self, radio: Radio) -> None:
+        if any(r.name == radio.name for r in self.radios):
+            raise ValueError(f"duplicate radio name: {radio.name}")
+        self.radios.append(radio)
+
+    def configure_ranges(
+        self, comm_range_m: float, interference_range_m: float, tx_power: float = 1.0
+    ) -> None:
+        """Derive thresholds so nodes decode within ``comm_range_m`` and sense
+        (and collide) within ``interference_range_m`` — e.g. the paper's
+        Figure 23 topology uses 55 m and 99 m."""
+        if interference_range_m < comm_range_m:
+            raise ValueError("interference range must be >= communication range")
+        self.rx_threshold = self.pathloss.threshold_for_range(tx_power, comm_range_m)
+        self.cs_threshold = self.pathloss.threshold_for_range(
+            tx_power, interference_range_m
+        )
+
+    def rss_between(self, sender: Radio, receiver: Radio) -> float:
+        """Received signal strength (linear) of ``sender`` at ``receiver``."""
+        d = distance(sender.position, receiver.position)
+        return self.pathloss.rss(sender.tx_power, d)
+
+    def _captures(self, strong: float, weak: float) -> bool:
+        if not self.capture_enabled:
+            return False
+        if weak <= 0:
+            return True
+        return strong / weak >= self.phy.capture_threshold
+
+    # -- transmission ----------------------------------------------------------
+
+    def transmit(self, sender: Radio, frame: Any, duration: float) -> None:
+        """Broadcast ``frame`` from ``sender`` for ``duration`` microseconds."""
+        if sender.transmitting:
+            raise RuntimeError(f"{sender.name}: already transmitting")
+        if duration <= 0:
+            raise ValueError(f"non-positive airtime: {duration}")
+        now = self.sim.now
+        tx = _Transmission(sender, frame, now, now + duration)
+        self.frames_sent += 1
+        sender._begin_transmit(tx.end)
+        self.sim.schedule(duration, sender._end_transmit)
+        for receiver in self.radios:
+            if receiver is sender:
+                continue
+            rss = self.rss_between(sender, receiver)
+            if rss < self.cs_threshold:
+                continue  # out of interference range: hears nothing
+            decodable = rss >= self.rx_threshold
+            delay = 0.0
+            if self.propagation_delay:
+                d = distance(sender.position, receiver.position)
+                delay = d / SPEED_OF_LIGHT_M_PER_US
+            self.sim.schedule(delay, receiver._on_tx_start, tx, rss, decodable)
+            self.sim.schedule(duration + delay, receiver._on_tx_end, tx, rss)
+
+    def _deliver(self, tx: _Transmission, receiver: Radio, lock: _Lock) -> None:
+        frame = tx.frame
+        corrupted = lock.collided
+        if not corrupted:
+            corrupted = self.error_model.is_corrupted(
+                tx.sender.name,
+                receiver.name,
+                frame.size_bytes,
+                frame.kind.name == "DATA",
+                self.rng,
+                rate=getattr(frame, "rate", None),
+            )
+        addr_ok = True
+        if corrupted:
+            addr_ok = (
+                self.rng.random() < self.addr_dst_survival
+                and self.rng.random() < self.addr_src_survival
+            )
+        rssi_db = rss_to_db(lock.rss)
+        if self.rssi_jitter is not None:
+            rssi_db += self.rssi_jitter(self.rng)
+        if receiver.mac is not None:
+            receiver.mac.phy_receive(frame, corrupted, addr_ok, rssi_db)

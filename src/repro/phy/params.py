@@ -1,0 +1,126 @@
+"""IEEE 802.11 PHY/MAC timing parameters and frame airtime.
+
+Two parameter sets are provided, matching the paper's evaluation:
+
+* :func:`dot11b` — 802.11b DSSS, 11 Mbps data rate, long preamble.
+* :func:`dot11a` — 802.11a OFDM, 6 Mbps data rate.
+
+Durations are in microseconds throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Maximum value of the MAC duration (NAV) field, per IEEE 802.11 (Section IV-A
+#: of the paper: greedy receivers can inflate NAV up to this many microseconds).
+MAX_NAV_US = 32767
+
+#: MAC frame sizes in bytes (header + FCS), per IEEE 802.11-1999.
+RTS_SIZE = 20
+CTS_SIZE = 14
+ACK_SIZE = 14
+DATA_HEADER_SIZE = 28  # 24-byte MAC header + 4-byte FCS
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """Timing and contention parameters for one 802.11 PHY flavor."""
+
+    name: str
+    slot_time: float  # us
+    sifs: float  # us
+    cw_min: int  # initial contention window (slots), e.g. 31 for 802.11b
+    cw_max: int  # maximum contention window (slots)
+    data_rate: float  # bits per microsecond (Mbps)
+    basic_rate: float  # rate for control frames, bits per microsecond
+    preamble: float  # PLCP preamble + header duration, us
+    ofdm: bool = False  # OFDM PHYs pad transmissions to 4 us symbols
+    ofdm_bits_per_symbol: int = 0
+    short_retry_limit: int = 7
+    long_retry_limit: int = 4
+    capture_threshold: float = 10.0  # linear power ratio needed for capture
+
+    @property
+    def difs(self) -> float:
+        """DIFS = SIFS + 2 x slot."""
+        return self.sifs + 2 * self.slot_time
+
+    @property
+    def eifs(self) -> float:
+        """EIFS = SIFS + ACK airtime at the basic rate + DIFS."""
+        return self.sifs + self.ack_time + self.difs
+
+    def airtime(self, size_bytes: int, rate: float | None = None) -> float:
+        """Airtime in us of a frame of ``size_bytes`` at ``rate`` (Mbps).
+
+        For OFDM PHYs the payload is padded to whole 4 us symbols including
+        the 16-bit SERVICE field and 6 tail bits, per 802.11a.
+        """
+        if rate is None:
+            rate = self.data_rate
+        bits = 8 * size_bytes
+        if self.ofdm:
+            # Bits per symbol scales linearly with the rate relative to 6 Mbps.
+            bits_per_symbol = self.ofdm_bits_per_symbol * (rate / 6.0)
+            symbols = math.ceil((16 + 6 + bits) / bits_per_symbol)
+            return self.preamble + 4.0 * symbols
+        return self.preamble + bits / rate
+
+    @property
+    def rts_time(self) -> float:
+        """Airtime of an RTS frame at the basic rate."""
+        return self.airtime(RTS_SIZE, self.basic_rate)
+
+    @property
+    def cts_time(self) -> float:
+        """Airtime of a CTS frame at the basic rate."""
+        return self.airtime(CTS_SIZE, self.basic_rate)
+
+    @property
+    def ack_time(self) -> float:
+        """Airtime of a MAC ACK frame at the basic rate."""
+        return self.airtime(ACK_SIZE, self.basic_rate)
+
+    def data_time(self, payload_bytes: int) -> float:
+        """Airtime of a data frame carrying ``payload_bytes`` of MSDU."""
+        return self.airtime(DATA_HEADER_SIZE + payload_bytes, self.data_rate)
+
+    def cts_timeout(self) -> float:
+        """How long an RTS sender waits for the CTS before declaring failure."""
+        return self.sifs + self.cts_time + self.slot_time + 2.0
+
+    def ack_timeout(self) -> float:
+        """How long a data sender waits for the MAC ACK."""
+        return self.sifs + self.ack_time + self.slot_time + 2.0
+
+
+def dot11b(data_rate_mbps: float = 11.0) -> PhyParams:
+    """802.11b DSSS with long preamble; control frames at 1 Mbps."""
+    return PhyParams(
+        name="802.11b",
+        slot_time=20.0,
+        sifs=10.0,
+        cw_min=31,
+        cw_max=1023,
+        data_rate=data_rate_mbps,
+        basic_rate=1.0,
+        preamble=192.0,
+    )
+
+
+def dot11a(data_rate_mbps: float = 6.0) -> PhyParams:
+    """802.11a OFDM; control frames at 6 Mbps."""
+    return PhyParams(
+        name="802.11a",
+        slot_time=9.0,
+        sifs=16.0,
+        cw_min=15,
+        cw_max=1023,
+        data_rate=data_rate_mbps,
+        basic_rate=6.0,
+        preamble=20.0,
+        ofdm=True,
+        ofdm_bits_per_symbol=24,
+    )

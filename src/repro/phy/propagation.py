@@ -1,0 +1,56 @@
+"""Distance-based propagation: received power, ranges, and RSSI.
+
+We use a power-law path loss (``rss = tx_power / d^exponent``) which, with
+exponent 4, matches the two-ray ground model ns-2 uses at WLAN distances.
+Reception and carrier-sense thresholds are derived from the desired
+communication and interference ranges (55 m and 99 m in the paper's
+Figure 23 topology).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Propagation speed in meters per microsecond.
+SPEED_OF_LIGHT_M_PER_US = 299.792458
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Power-law path loss with a minimum reference distance."""
+
+    exponent: float = 4.0
+    reference_distance: float = 1.0  # meters; closer nodes are clamped to this
+
+    def rss(self, tx_power: float, distance: float) -> float:
+        """Received signal strength (linear units) at ``distance`` meters."""
+        d = max(distance, self.reference_distance)
+        return tx_power / d**self.exponent
+
+    def range_for_threshold(self, tx_power: float, threshold: float) -> float:
+        """Distance at which the received power drops to ``threshold``."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return (tx_power / threshold) ** (1.0 / self.exponent)
+
+    def threshold_for_range(self, tx_power: float, distance: float) -> float:
+        """Received-power threshold corresponding to a reception range."""
+        if distance <= 0:
+            raise ValueError("range must be positive")
+        return tx_power / distance**self.exponent
+
+
+def rss_to_db(rss: float, noise_floor: float = 1e-9) -> float:
+    """Convert linear received power to a dB figure above the noise floor.
+
+    This is the quantity the paper calls RSSI (``10 log10((S+I)/N)``).
+    """
+    if rss <= 0:
+        return -math.inf
+    return 10.0 * math.log10(rss / noise_floor)
+
+
+def distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Euclidean distance between two 2-D positions in meters."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])

@@ -1,0 +1,121 @@
+"""Event-heap discrete-event simulator.
+
+Time is a float number of microseconds.  All subsystems (PHY, MAC, transport)
+schedule callbacks on one shared :class:`Simulator` instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and may be cancelled with
+    :meth:`Simulator.cancel` (or :meth:`cancel` on the event itself).
+    Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so that it never fires."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.fn is not None
+
+    def _fire(self) -> None:
+        fn, args = self.fn, self.args
+        self.fn = None  # break reference cycles and mark as fired
+        self.args = ()
+        fn(*args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending" if self.fn else "fired"
+        return f"Event(t={self.time:.3f}us, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Discrete-event scheduler with a microsecond clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        if math.isnan(time) or math.isinf(time):
+            raise ValueError(f"invalid event time: {time}")
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event | None) -> None:
+        """Cancel a previously scheduled event.  ``None`` is ignored."""
+        if event is not None:
+            event.cancel()
+
+    def run(self, until: float | None = None) -> None:
+        """Run events in timestamp order.
+
+        Stops when the heap is empty, or — if ``until`` is given — once the
+        next event would fire strictly after ``until`` (the clock is then
+        advanced to ``until``).
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled or event.fn is None:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                self.events_processed += 1
+                event._fire()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> None:
+        """Drain every pending event (no time bound)."""
+        self.run(until=None)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for e in self._heap if e.pending)

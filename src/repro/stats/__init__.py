@@ -1,0 +1,27 @@
+"""Result collection, tracing, and presentation helpers."""
+
+from repro.stats.summary import (
+    ExperimentResult,
+    format_table,
+    median,
+    median_over_seeds,
+)
+from repro.stats.trace import (
+    FrameTracer,
+    GoodputSeries,
+    TraceRecord,
+    attach_goodput_series,
+    sparkline,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "median",
+    "median_over_seeds",
+    "FrameTracer",
+    "GoodputSeries",
+    "TraceRecord",
+    "attach_goodput_series",
+    "sparkline",
+]

@@ -1,0 +1,92 @@
+"""Experiment result containers, medians over seeds, and ASCII tables.
+
+The paper runs each scenario 5 times and reports the median goodput; the
+helpers here encode that methodology once for all experiments.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    return statistics.median(values)
+
+
+def median_over_seeds(
+    run: Callable[[int], Mapping[str, float]], seeds: Sequence[int]
+) -> dict[str, float]:
+    """Run ``run(seed)`` for each seed; return the per-key median.
+
+    Every invocation must return the same keys (e.g. per-flow goodput).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    outcomes = [dict(run(seed)) for seed in seeds]
+    keys = outcomes[0].keys()
+    for outcome in outcomes[1:]:
+        if outcome.keys() != keys:
+            raise ValueError("runs returned inconsistent keys")
+    return {key: median([outcome[key] for outcome in outcomes]) for key in keys}
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure, with formatting helpers."""
+
+    name: str
+    description: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; every declared column must be present."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns: {missing}")
+        self.rows.append(values)
+
+    def series(self, x: str, y: str) -> list[tuple[Any, Any]]:
+        """Extract one (x, y) series, e.g. for shape assertions in benches."""
+        return [(row[x], row[y]) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render name, description and rows as an ASCII table."""
+        header = f"== {self.name} ==\n{self.description}\n"
+        cells = [[_fmt(row[c]) for c in self.columns] for row in self.rows]
+        return header + format_table(self.columns, cells)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,33 @@
+"""Models substituting for the paper's hardware testbed (Section VI).
+
+The paper's testbed was four Fedora PCs with NetGear WAG511 cards running
+MadWifi.  We cannot run that hardware, so each testbed experiment is
+reproduced by a model that exercises the same mechanism:
+
+* :mod:`repro.testbed.corruption` — Monte-Carlo + analytic model of MAC
+  address survival in corrupted frames (Table I): the feasibility argument
+  for fake ACKs.
+* :mod:`repro.testbed.rssi` — a 16-node office RSSI measurement model with
+  per-link medians and small temporal jitter (Figures 21-22): the
+  feasibility argument for RSSI-based spoofed-ACK detection.
+* :mod:`repro.testbed.emulation` — the MadWifi driver modifications the
+  authors used (disable MAC retransmissions toward a victim; clamp
+  CWmax=CWmin toward the greedy flow; inject inflated-NAV control frames),
+  applied to the simulated MAC (Tables VI-IX).
+"""
+
+from repro.testbed.corruption import (
+    CorruptionBreakdown,
+    address_survival_analytic,
+    measure_address_survival,
+)
+from repro.testbed.rssi import RssiCampaign, RssiSample, roc_curve
+
+__all__ = [
+    "CorruptionBreakdown",
+    "address_survival_analytic",
+    "measure_address_survival",
+    "RssiCampaign",
+    "RssiSample",
+    "roc_curve",
+]

@@ -1,0 +1,152 @@
+"""MAC-address survival in corrupted frames (the paper's Table I).
+
+The feasibility of fake ACKs (misbehavior 3) rests on a measurement: most
+corrupted frames still carry intact source/destination MAC addresses, because
+the 12 address bytes are a tiny fraction of a ~1 KB frame.  The paper
+measured this on real hardware (Table I); we reproduce it with a channel
+error model.
+
+Independent byte errors alone cannot explain the measured numbers: an i.i.d.
+model predicts >99 % address survival for both PHYs, yet 802.11a showed only
+84 % destination survival.  Corrupted frames in the wild carry *clusters* of
+errors whose density varies frame to frame (deep fades garble long symbol
+runs).  We therefore model a corrupted frame as having an error *density*
+``f`` drawn per frame from an exponential distribution; each byte is then
+errored independently with probability ``f``.  Calibrating the corruption
+rate and mean density per PHY reproduces Table I's contrast between 802.11b
+(rare corruption, light density, addresses almost always survive) and
+802.11a (frequent corruption, heavy density, addresses lost in ~16 % of
+corrupted frames).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Byte offsets of the destination and source address fields in an 802.11
+#: data frame header (frame control + duration precede the addresses).
+DST_SPAN = (4, 10)
+SRC_SPAN = (10, 16)
+
+ADDRESS_BYTES = 6
+
+
+@dataclass(frozen=True)
+class DensityErrorParams:
+    """Per-PHY corruption model parameters."""
+
+    corruption_rate: float  # fraction of frames that arrive corrupted
+    mean_error_density: float  # mean per-byte error probability when corrupted
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.corruption_rate <= 1:
+            raise ValueError("corruption_rate must be in [0, 1]")
+        if not 0 < self.mean_error_density <= 1:
+            raise ValueError("mean_error_density must be in (0, 1]")
+
+
+#: Calibrated against Table I.  802.11b (DSSS): 2.1 % corruption, light error
+#: density.  802.11a (OFDM): 32 % corruption, and one fade garbles many
+#: symbols, so the per-frame error density is an order of magnitude higher.
+CALIBRATED_PARAMS = {
+    "802.11b": DensityErrorParams(corruption_rate=1367 / 65536, mean_error_density=0.002),
+    "802.11a": DensityErrorParams(corruption_rate=7376 / 23068, mean_error_density=0.030),
+}
+
+
+@dataclass
+class CorruptionBreakdown:
+    """Counts in the shape of the paper's Table I."""
+
+    frames: int = 0
+    corrupted: int = 0
+    corrupted_dst_ok: int = 0
+    corrupted_src_dst_ok: int = 0
+
+    @property
+    def corruption_rate(self) -> float:
+        return self.corrupted / self.frames if self.frames else 0.0
+
+    @property
+    def dst_survival(self) -> float:
+        """Fraction of corrupted frames delivered to the correct destination."""
+        return self.corrupted_dst_ok / self.corrupted if self.corrupted else 0.0
+
+    @property
+    def src_survival_given_dst(self) -> float:
+        """Among those, fraction that also kept the correct source address."""
+        if not self.corrupted_dst_ok:
+            return 0.0
+        return self.corrupted_src_dst_ok / self.corrupted_dst_ok
+
+
+def measure_address_survival(
+    rng: random.Random,
+    n_frames: int,
+    params: DensityErrorParams | None = None,
+    phy_name: str = "802.11b",
+) -> CorruptionBreakdown:
+    """Monte-Carlo reproduction of Table I's measurement campaign."""
+    if params is None:
+        params = CALIBRATED_PARAMS[phy_name]
+    result = CorruptionBreakdown(frames=n_frames)
+    for _ in range(n_frames):
+        if rng.random() >= params.corruption_rate:
+            continue
+        result.corrupted += 1
+        density = min(1.0, rng.expovariate(1.0 / params.mean_error_density))
+        field_ok = (1.0 - density) ** ADDRESS_BYTES
+        if rng.random() < field_ok:  # destination field untouched
+            result.corrupted_dst_ok += 1
+            if rng.random() < field_ok:  # source field untouched too
+                result.corrupted_src_dst_ok += 1
+    return result
+
+
+def address_survival_analytic(
+    byte_error_rate: float, frame_bytes: int = 1092
+) -> tuple[float, float, float]:
+    """Closed form under *independent* byte errors.
+
+    Returns ``(P[corrupted], P[dst ok | corrupted], P[src ok | dst ok,
+    corrupted])``.  This is the naive baseline the density model improves on:
+    independent errors predict near-perfect address survival for any channel
+    quality, which contradicts the 802.11a measurement.
+    """
+    if not 0 <= byte_error_rate < 1:
+        raise ValueError("byte error rate must be in [0, 1)")
+    q = 1.0 - byte_error_rate
+    p_corrupt = 1.0 - q**frame_bytes
+    if p_corrupt == 0.0:
+        return 0.0, 1.0, 1.0
+    dst_len = DST_SPAN[1] - DST_SPAN[0]
+    src_len = SRC_SPAN[1] - SRC_SPAN[0]
+    rest_after_dst = frame_bytes - dst_len
+    rest_after_both = frame_bytes - dst_len - src_len
+    p_dst_ok_and_corrupt = q**dst_len * (1.0 - q**rest_after_dst)
+    p_both_ok_and_corrupt = q ** (dst_len + src_len) * (1.0 - q**rest_after_both)
+    p_dst_ok = p_dst_ok_and_corrupt / p_corrupt
+    p_src_given_dst = (
+        p_both_ok_and_corrupt / p_dst_ok_and_corrupt if p_dst_ok_and_corrupt else 1.0
+    )
+    return p_corrupt, p_dst_ok, p_src_given_dst
+
+
+def expected_survival(params: DensityErrorParams, samples: int = 200_000) -> float:
+    """Mean single-field survival probability under ``params`` (analytic aid).
+
+    ``E[(1-f)^6]`` for exponential ``f`` has no elementary closed form after
+    clamping, so we integrate numerically with a deterministic grid.
+    """
+    mean = params.mean_error_density
+    total = 0.0
+    step = 1.0 / samples
+    import math
+
+    for i in range(samples):
+        # Inverse-CDF sampling on a uniform grid (midpoint rule).
+        u = (i + 0.5) * step
+        f = min(1.0, -mean * math.log1p(-u))
+        total += (1.0 - f) ** ADDRESS_BYTES
+    return total / samples

@@ -1,0 +1,134 @@
+"""Simulated versions of the paper's MadWifi testbed experiments (Sec. VI).
+
+The authors could not make commodity hardware misbehave directly in every
+case, so they *emulated* misbehaviors with driver modifications; we apply the
+identical modifications to the simulated MAC:
+
+* **NAV inflation (Tables VI-VII)** — the real misbehavior: a greedy policy
+  inflating NAV to the protocol maximum (32767 us) on RTS frames sent for
+  TCP ACKs, or on CTS/ACK under UDP (the testbed injected these via the raw
+  interface).
+* **ACK spoofing (Table VIII)** — the sender disables MAC retransmissions
+  toward the normal receiver only (``mac.no_retransmit_to``).
+* **Fake ACKs (Table IX)** — the sender clamps ``CW_max = CW_min`` when
+  transmitting to the greedy receiver (``mac.cw_max_to``).
+
+All scenarios use 802.11a at 6 Mbps with RTS/CTS enabled (except where the
+paper disables it), matching the testbed configuration.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+from repro.phy.params import MAX_NAV_US, dot11a
+
+US_PER_S = 1_000_000.0
+
+
+def _two_pair_scenario(seed: int, greedy: GreedyConfig | None, rts: bool) -> Scenario:
+    s = Scenario(phy=dot11a(6.0), seed=seed, rts_enabled=rts)
+    s.add_wireless_node("S1")
+    s.add_wireless_node("S2")
+    s.add_wireless_node("R1", greedy=greedy)  # R1 turns greedy in the "1 GR" runs
+    s.add_wireless_node("R2")
+    return s
+
+
+def table6_nav_rts_tcp(seed: int = 0, greedy: bool = True, duration_s: float = 5.0):
+    """Table VI: GR inflates NAV in the RTS frames of its TCP ACKs to max.
+
+    Returns ``{"R1": goodput_mbps, "R2": goodput_mbps}`` — R1 is the greedy
+    receiver when ``greedy`` is True.
+    """
+    config = None
+    if greedy:
+        config = GreedyConfig.nav_inflator(float(MAX_NAV_US), {FrameKind.RTS})
+    s = _two_pair_scenario(seed, config, rts=True)
+    snd1, rcv1 = s.tcp_flow("S1", "R1")
+    snd2, rcv2 = s.tcp_flow("S2", "R2")
+    snd1.start()
+    snd2.start()
+    s.run(duration_s)
+    us = duration_s * US_PER_S
+    return {"R1": rcv1.goodput_mbps(us), "R2": rcv2.goodput_mbps(us)}
+
+
+def table7_nav_udp(
+    seed: int = 0,
+    variant: str = "ack_no_rtscts",
+    greedy: bool = True,
+    duration_s: float = 5.0,
+):
+    """Table VII: UDP NAV inflation, three testbed variants.
+
+    ``variant`` is one of ``ack_no_rtscts`` (no RTS/CTS, inflate ACK NAV),
+    ``cts`` (RTS/CTS on, inflate CTS NAV), ``cts_ack`` (inflate both).
+    """
+    variants = {
+        "ack_no_rtscts": (False, {FrameKind.ACK}),
+        "cts": (True, {FrameKind.CTS}),
+        "cts_ack": (True, {FrameKind.CTS, FrameKind.ACK}),
+    }
+    if variant not in variants:
+        raise ValueError(f"unknown variant {variant!r}")
+    rts, frames = variants[variant]
+    config = GreedyConfig.nav_inflator(float(MAX_NAV_US), frames) if greedy else None
+    s = _two_pair_scenario(seed, config, rts=rts)
+    src1, sink1 = s.udp_flow("S1", "R1")
+    src2, sink2 = s.udp_flow("S2", "R2")
+    src1.start()
+    src2.start()
+    s.run(duration_s)
+    us = duration_s * US_PER_S
+    return {"R1": sink1.goodput_mbps(us), "R2": sink2.goodput_mbps(us)}
+
+
+def table8_spoof_emulation_tcp(
+    seed: int = 0, greedy: bool = True, duration_s: float = 5.0
+):
+    """Table VIII: one sender, two TCP receivers; MAC retransmissions are
+    disabled toward the normal receiver to emulate a perfect spoofer.
+
+    R1 plays the greedy receiver (its traffic keeps retransmissions); R2 is
+    the victim.  Without RTS/CTS, as in the testbed.
+    """
+    s = Scenario(phy=dot11a(6.0), seed=seed, rts_enabled=False)
+    s.add_wireless_node("S")
+    s.add_wireless_node("R1")
+    s.add_wireless_node("R2")
+    if greedy:
+        s.macs["S"].no_retransmit_to.add("R2")
+    snd1, rcv1 = s.tcp_flow("S", "R1")
+    snd2, rcv2 = s.tcp_flow("S", "R2")
+    snd1.start()
+    snd2.start()
+    s.run(duration_s)
+    us = duration_s * US_PER_S
+    return {"R1": rcv1.goodput_mbps(us), "R2": rcv2.goodput_mbps(us)}
+
+
+def table9_fake_ack_emulation_udp(
+    seed: int = 0, greedy: bool = True, duration_s: float = 5.0, data_fer: float = 0.15
+):
+    """Table IX: fake-ACK emulation under UDP: CW_max is clamped to CW_min
+    for the greedy receiver's sender, so it never backs off under losses.
+
+    Fake ACKs only pay off against a *different* AP (Section IV-C), so this
+    uses two senders, each saturating its own receiver.  The testbed links
+    were naturally lossy; without losses the emulation is a no-op (backoff
+    never escalates), so we inject a moderate data frame error rate.
+    """
+    s = _two_pair_scenario(seed, greedy=None, rts=False)
+    s.error_model.set_data_fer("S1", "R1", data_fer)
+    s.error_model.set_data_fer("S2", "R2", data_fer)
+    if greedy:
+        s.macs["S1"].cw_max_to["R1"] = s.phy.cw_min
+    src1, sink1 = s.udp_flow("S1", "R1")
+    src2, sink2 = s.udp_flow("S2", "R2")
+    src1.start()
+    src2.start()
+    s.run(duration_s)
+    us = duration_s * US_PER_S
+    return {"R1": sink1.goodput_mbps(us), "R2": sink2.goodput_mbps(us)}

@@ -1,0 +1,171 @@
+"""RSSI measurement campaign model (the paper's Figures 21-22).
+
+The paper measured RSSI on a 16-node office testbed: one node broadcasts,
+all others record per-packet RSSI.  Two findings drive the spoofed-ACK
+detector design:
+
+1. about 95 % of RSSI samples are within 1 dB of the link's median — RSSI is
+   stable over short intervals (Figure 21);
+2. a 1 dB deviation threshold therefore yields both low false positives
+   (genuine frames flagged) and low false negatives (spoofed frames passed)
+   (Figure 22).
+
+We model per-link median RSSI with log-distance path loss plus static
+per-link shadowing, and per-packet deviation as a Gaussian mixture (a narrow
+core with rare heavier-tailed excursions from fading and interference).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from statistics import median
+
+
+@dataclass(frozen=True)
+class RssiSample:
+    """One received broadcast packet."""
+
+    sender: int
+    receiver: int
+    rssi_db: float
+
+
+@dataclass
+class RssiModelParams:
+    """Knobs of the measurement model."""
+
+    tx_power_dbm: float = 18.0
+    path_loss_exponent: float = 3.0  # indoor office
+    path_loss_at_1m_db: float = 40.0
+    shadowing_sigma_db: float = 6.0  # static per-link offset
+    jitter_core_sigma_db: float = 0.4
+    jitter_tail_sigma_db: float = 2.5
+    jitter_tail_prob: float = 0.04
+    noise_floor_dbm: float = -96.0
+
+
+class RssiCampaign:
+    """Synthetic version of the paper's 16-node measurement campaign."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        n_nodes: int = 16,
+        floor_size_m: float = 40.0,
+        params: RssiModelParams | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        self.rng = rng
+        self.params = params or RssiModelParams()
+        self.positions = [
+            (rng.uniform(0, floor_size_m), rng.uniform(0, floor_size_m))
+            for _ in range(n_nodes)
+        ]
+        self.n_nodes = n_nodes
+        # Static shadowing per directed link: fixed for the whole campaign.
+        self._shadow: dict[tuple[int, int], float] = {}
+        self.samples: list[RssiSample] = []
+
+    # ------------------------------------------------------------------------
+
+    def _link_median_rssi(self, sender: int, receiver: int) -> float:
+        key = (sender, receiver)
+        shadow = self._shadow.get(key)
+        if shadow is None:
+            shadow = self.rng.gauss(0.0, self.params.shadowing_sigma_db)
+            self._shadow[key] = shadow
+        p = self.params
+        ax, ay = self.positions[sender]
+        bx, by = self.positions[receiver]
+        d = max(1.0, math.hypot(ax - bx, ay - by))
+        path_loss = p.path_loss_at_1m_db + 10 * p.path_loss_exponent * math.log10(d)
+        rx_dbm = p.tx_power_dbm - path_loss + shadow
+        return rx_dbm - p.noise_floor_dbm  # RSSI = dB above noise floor
+
+    def _jitter(self) -> float:
+        p = self.params
+        if self.rng.random() < p.jitter_tail_prob:
+            return self.rng.gauss(0.0, p.jitter_tail_sigma_db)
+        return self.rng.gauss(0.0, p.jitter_core_sigma_db)
+
+    def run(self, packets_per_sender: int = 200) -> None:
+        """Every node broadcasts; all others record per-packet RSSI."""
+        for sender in range(self.n_nodes):
+            for receiver in range(self.n_nodes):
+                if receiver == sender:
+                    continue
+                base = self._link_median_rssi(sender, receiver)
+                for _ in range(packets_per_sender):
+                    self.samples.append(
+                        RssiSample(sender, receiver, base + self._jitter())
+                    )
+
+    # -------------------------------------------------------------- analysis --
+
+    def link_samples(self) -> dict[tuple[int, int], list[float]]:
+        links: dict[tuple[int, int], list[float]] = {}
+        for s in self.samples:
+            links.setdefault((s.sender, s.receiver), []).append(s.rssi_db)
+        return links
+
+    def deviations_from_median(self) -> list[float]:
+        """|RSSI - median RSSI| over all links: the data behind Figure 21."""
+        deviations: list[float] = []
+        for values in self.link_samples().values():
+            m = median(values)
+            deviations.extend(abs(v - m) for v in values)
+        return deviations
+
+    def deviation_cdf(self, points: list[float]) -> list[tuple[float, float]]:
+        """CDF of the per-sample deviation, evaluated at ``points`` (dB)."""
+        deviations = self.deviations_from_median()
+        n = len(deviations)
+        if n == 0:
+            raise RuntimeError("run() the campaign first")
+        return [
+            (x, sum(1 for d in deviations if d <= x) / n) for x in points
+        ]
+
+
+def roc_curve(
+    campaign: RssiCampaign, thresholds: list[float]
+) -> list[tuple[float, float, float]]:
+    """False positive and false negative rates per threshold (Figure 22).
+
+    For each observer node and each ordered pair of *other* nodes (victim,
+    spoofer): a genuine frame is a victim-link sample judged against the
+    victim link's median (deviation > threshold => false positive), and a
+    spoofed frame is a spoofer-link sample judged against the victim link's
+    median (deviation <= threshold => false negative).
+    """
+    links = campaign.link_samples()
+    medians = {link: median(values) for link, values in links.items()}
+    rows: list[tuple[float, float, float]] = []
+    for threshold in thresholds:
+        fp_hits = fp_total = 0
+        fn_hits = fn_total = 0
+        for (sender, receiver), values in links.items():
+            m = medians[(sender, receiver)]
+            for v in values:
+                fp_total += 1
+                if abs(v - m) > threshold:
+                    fp_hits += 1
+            # Every other sender heard by this receiver can act as a spoofer.
+            for other in range(campaign.n_nodes):
+                if other in (sender, receiver):
+                    continue
+                for v in links.get((other, receiver), ()):  # spoofer's frames
+                    fn_total += 1
+                    if abs(v - m) <= threshold:
+                        fn_hits += 1
+        rows.append(
+            (
+                threshold,
+                fp_hits / fp_total if fp_total else 0.0,
+                fn_hits / fn_total if fn_total else 0.0,
+            )
+        )
+    return rows

@@ -1,0 +1,20 @@
+"""Transport layer: CBR/UDP and TCP Reno agents, plus end-to-end packets.
+
+The paper evaluates every misbehavior under both UDP (constant-bit-rate
+sources saturating the medium) and TCP (whose congestion control is what ACK
+spoofing exploits).  Agents attach to :class:`repro.net.Node` instances and
+exchange :class:`Packet` objects that ride as MAC-layer MSDUs.
+"""
+
+from repro.transport.packets import Packet, PacketKind
+from repro.transport.udp import CbrSource, UdpSink
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "CbrSource",
+    "UdpSink",
+    "TcpSender",
+    "TcpReceiver",
+]

@@ -1,0 +1,73 @@
+"""End-to-end packets carried as MAC MSDUs (and over wired links)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+#: Bytes of TCP/IP (or UDP/IP) header added to each payload.
+HEADER_BYTES = 40
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    UDP_DATA = "udp"
+    TCP_DATA = "tcp-data"
+    TCP_ACK = "tcp-ack"
+    PROBE = "probe"
+    PROBE_REPLY = "probe-reply"
+
+
+class Packet:
+    """One transport packet with end-to-end addressing.
+
+    ``src``/``dst`` are *node names* of the original sender and the final
+    destination; forwarding nodes (the AP in remote-sender scenarios) use them
+    for routing while the MAC layer addresses each hop.
+    """
+
+    __slots__ = (
+        "kind",
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "ack",
+        "payload_bytes",
+        "created_at",
+        "uid",
+    )
+
+    def __init__(
+        self,
+        kind: PacketKind,
+        flow_id: str,
+        src: str,
+        dst: str,
+        seq: int = 0,
+        ack: int = 0,
+        payload_bytes: int = 0,
+        created_at: float = 0.0,
+    ) -> None:
+        self.kind = kind
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.ack = ack
+        self.payload_bytes = payload_bytes
+        self.created_at = created_at
+        self.uid = next(_packet_ids)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size: payload plus transport/IP headers."""
+        return self.payload_bytes + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.kind.value} {self.flow_id} {self.src}->{self.dst} "
+            f"seq={self.seq} ack={self.ack} {self.payload_bytes}B)"
+        )

@@ -1,0 +1,118 @@
+"""Unit and integration tests for ARF rate adaptation (the extension)."""
+
+import pytest
+
+from repro.mac.autorate import ArfRateController, DOT11A_RATES, DOT11B_RATES
+from repro.net.scenario import Scenario
+
+
+def test_rates_must_be_ascending_and_nonempty():
+    with pytest.raises(ValueError):
+        ArfRateController(rates=())
+    with pytest.raises(ValueError):
+        ArfRateController(rates=(11.0, 5.5))
+    with pytest.raises(ValueError):
+        ArfRateController(success_threshold=0)
+    with pytest.raises(ValueError):
+        ArfRateController(initial_index=7)
+
+
+def test_starts_at_top_rate_by_default():
+    arf = ArfRateController()
+    assert arf.rate_for("x") == DOT11B_RATES[-1]
+
+
+def test_configurable_initial_rate():
+    arf = ArfRateController(initial_index=0)
+    assert arf.rate_for("x") == DOT11B_RATES[0]
+
+
+def test_steps_down_after_consecutive_failures():
+    arf = ArfRateController(failure_threshold=2)
+    arf.on_failure("x")
+    assert arf.rate_for("x") == 11.0  # one failure is not enough
+    arf.on_failure("x")
+    assert arf.rate_for("x") == 5.5
+    assert arf.step_downs == 1
+
+
+def test_success_resets_failure_streak():
+    arf = ArfRateController(failure_threshold=2)
+    arf.on_failure("x")
+    arf.on_success("x")
+    arf.on_failure("x")
+    assert arf.rate_for("x") == 11.0
+
+
+def test_steps_up_after_success_streak():
+    arf = ArfRateController(initial_index=0, success_threshold=10)
+    for _ in range(9):
+        arf.on_success("x")
+    assert arf.rate_for("x") == 1.0
+    arf.on_success("x")
+    assert arf.rate_for("x") == 2.0
+    assert arf.step_ups == 1
+
+
+def test_probe_failure_falls_straight_back():
+    arf = ArfRateController(initial_index=0, success_threshold=2, failure_threshold=5)
+    arf.on_success("x")
+    arf.on_success("x")  # step up to 2.0, probing
+    assert arf.rate_for("x") == 2.0
+    arf.on_failure("x")  # probe failed: immediate fallback despite threshold 5
+    assert arf.rate_for("x") == 1.0
+
+
+def test_never_leaves_rate_ladder():
+    arf = ArfRateController(failure_threshold=1)
+    for _ in range(20):
+        arf.on_failure("x")
+    assert arf.rate_for("x") == DOT11B_RATES[0]
+    arf2 = ArfRateController(initial_index=len(DOT11B_RATES) - 1, success_threshold=1)
+    for _ in range(20):
+        arf2.on_success("x")
+    assert arf2.rate_for("x") == DOT11B_RATES[-1]
+
+
+def test_per_destination_state_is_independent():
+    arf = ArfRateController(failure_threshold=1)
+    arf.on_failure("a")
+    assert arf.rate_for("a") == 5.5
+    assert arf.rate_for("b") == 11.0
+
+
+def test_arf_converges_to_sustainable_rate_in_simulation():
+    s = Scenario(seed=3, rts_enabled=False)
+    s.add_wireless_node("S")
+    s.add_wireless_node("R")
+    # 11 Mbps is hopeless, 5.5 marginal, 2 and below clean.
+    s.error_model.set_rate_profile(
+        "S", "R", {1.0: 0.0, 2.0: 0.0, 5.5: 2e-4, 11.0: 5e-3}
+    )
+    s.enable_autorate(["S"])
+    src, sink = s.udp_flow("S", "R")
+    src.start()
+    s.run(3.0)
+    final = s.macs["S"].rate_controller.rate_for("R")
+    assert final in (2.0, 5.5)  # backed off from the hopeless 11 Mbps
+    assert sink.packets_received > 200
+
+
+def test_scenario_uses_phy_matching_ladder():
+    from repro.phy.params import dot11a
+
+    s = Scenario(phy=dot11a(6.0))
+    s.add_wireless_node("S")
+    s.enable_autorate(["S"])
+    assert s.macs["S"].rate_controller.rates == DOT11A_RATES
+
+
+def test_fixed_rate_macs_send_at_phy_rate():
+    s = Scenario(seed=1)
+    s.add_wireless_node("S")
+    s.add_wireless_node("R")
+    assert s.macs["S"].rate_controller is None
+    src, sink = s.udp_flow("S", "R")
+    src.start()
+    s.run(0.2)
+    assert sink.packets_received > 0

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "table9" in out
+    assert "ext_autorate" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_quick_experiment(capsys):
+    assert main(["run", "table3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "fer_tcp_data" in out
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "out.txt"
+    assert main(["run", "table3", "--quick", "-o", str(target)]) == 0
+    assert "Table III" in target.read_text()
+    assert str(target) in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("kind", ["nav", "spoof", "fake"])
+def test_demo_runs(kind, capsys):
+    assert main(["demo", kind, "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "victim" in out
+    assert "attacker" in out
+    assert "|" in out  # sparkline rendered
+
+
+def test_demo_nav_with_grc_reports_offender(capsys):
+    assert main(["demo", "nav", "--grc", "--duration", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "detections" in out
+    assert "GR" in out
+
+
+def test_demo_attack_works_without_grc(capsys):
+    assert main(["demo", "nav", "--duration", "1.0", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    victim_line = next(line for line in out.splitlines() if "victim" in line)
+    attacker_line = next(line for line in out.splitlines() if "attacker" in line)
+    victim_mbps = float(victim_line.split()[1])
+    attacker_mbps = float(attacker_line.split()[1])
+    assert attacker_mbps > 5 * max(victim_mbps, 1e-3)

@@ -1,0 +1,84 @@
+"""Unit tests for the Table I corruption/address-survival model."""
+
+import random
+
+import pytest
+
+from repro.testbed.corruption import (
+    CALIBRATED_PARAMS,
+    CorruptionBreakdown,
+    DensityErrorParams,
+    address_survival_analytic,
+    expected_survival,
+    measure_address_survival,
+)
+
+
+def test_breakdown_properties():
+    b = CorruptionBreakdown(frames=100, corrupted=10, corrupted_dst_ok=8, corrupted_src_dst_ok=6)
+    assert b.corruption_rate == 0.1
+    assert b.dst_survival == 0.8
+    assert b.src_survival_given_dst == 0.75
+
+
+def test_breakdown_handles_zero_counts():
+    b = CorruptionBreakdown()
+    assert b.corruption_rate == 0.0
+    assert b.dst_survival == 0.0
+    assert b.src_survival_given_dst == 0.0
+
+
+def test_calibration_matches_table1_80211b():
+    rng = random.Random(5)
+    r = measure_address_survival(rng, 40_000, phy_name="802.11b")
+    assert r.corruption_rate == pytest.approx(1367 / 65536, rel=0.15)
+    assert r.dst_survival > 0.97
+
+
+def test_calibration_matches_table1_80211a():
+    rng = random.Random(5)
+    r = measure_address_survival(rng, 20_000, phy_name="802.11a")
+    assert r.corruption_rate == pytest.approx(7376 / 23068, rel=0.1)
+    assert 0.75 < r.dst_survival < 0.92  # paper: 0.84
+
+
+def test_counts_are_nested():
+    rng = random.Random(6)
+    r = measure_address_survival(rng, 5_000, phy_name="802.11a")
+    assert r.corrupted <= r.frames
+    assert r.corrupted_dst_ok <= r.corrupted
+    assert r.corrupted_src_dst_ok <= r.corrupted_dst_ok
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        DensityErrorParams(corruption_rate=1.5, mean_error_density=0.1)
+    with pytest.raises(ValueError):
+        DensityErrorParams(corruption_rate=0.1, mean_error_density=0.0)
+
+
+def test_analytic_iid_baseline():
+    p_corrupt, dst_ok, src_ok = address_survival_analytic(2e-5, 1092)
+    assert p_corrupt == pytest.approx(1 - (1 - 2e-5) ** 1092)
+    # Independent errors predict near-perfect survival.
+    assert dst_ok > 0.99
+    assert src_ok > 0.99
+
+
+def test_analytic_zero_error_rate():
+    p_corrupt, dst_ok, src_ok = address_survival_analytic(0.0)
+    assert p_corrupt == 0.0
+    assert dst_ok == 1.0
+
+
+def test_analytic_rejects_invalid_rate():
+    with pytest.raises(ValueError):
+        address_survival_analytic(1.0)
+
+
+def test_expected_survival_matches_monte_carlo():
+    params = CALIBRATED_PARAMS["802.11a"]
+    analytic = expected_survival(params, samples=20_000)
+    rng = random.Random(8)
+    r = measure_address_survival(rng, 30_000, params=params)
+    assert r.dst_survival == pytest.approx(analytic, abs=0.03)

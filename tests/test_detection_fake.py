@@ -1,0 +1,77 @@
+"""Unit tests for the fake-ACK detector (prober + loss consistency check)."""
+
+import pytest
+
+from repro.core.detection import DetectionReport, FakeAckDetector, ProbeResponder, Prober
+from repro.core.greedy import GreedyConfig
+from repro.net.scenario import Scenario
+
+
+def build(greedy: bool, data_fer: float = 0.5, seed: int = 2):
+    s = Scenario(seed=seed, rts_enabled=False)
+    s.add_wireless_node("S")
+    config = GreedyConfig.ack_faker() if greedy else None
+    s.add_wireless_node("R", greedy=config)
+    s.error_model.set_data_fer("S", "R", data_fer)
+    s._auto_route("S", "R")
+    prober = Prober(s.sim, s.nodes["S"], "R", interval_us=10_000.0)
+    ProbeResponder(s.nodes["R"], prober.flow_id)
+    report = DetectionReport()
+    detector = FakeAckDetector(s.macs["S"], prober, "R", report, threshold=0.05)
+    return s, prober, detector, report
+
+
+def test_probes_echo_on_clean_link():
+    s, prober, detector, report = build(greedy=False, data_fer=0.0)
+    prober.start()
+    s.run(2.0)
+    assert prober.sent > 100
+    assert prober.replies > 100
+    assert prober.application_loss_rate() < 0.05
+
+
+def test_honest_lossy_receiver_not_flagged():
+    """MAC retransmissions recover honest losses, so application loss stays
+    consistent with MACLoss^(retries+1) and no alarm fires."""
+    s, prober, detector, report = build(greedy=False, data_fer=0.5)
+    prober.start()
+    s.run(3.0)
+    assert not detector.evaluate(s.sim.now)
+    assert not report.events
+
+
+def test_fake_acking_receiver_detected():
+    """Fake ACKs hide MAC loss while probes keep dying: inconsistency."""
+    s, prober, detector, report = build(greedy=True, data_fer=0.5)
+    prober.start()
+    s.run(3.0)
+    assert detector.evaluate(s.sim.now)
+    assert report.count("fake-ack", offender="R") == 1
+    # The observed MAC loss is (nearly) hidden by the fake ACKs.
+    assert s.macs["S"].stats.mac_loss_rate("R") < 0.2
+    assert prober.application_loss_rate() > 0.3
+
+
+def test_detector_needs_minimum_probes():
+    s, prober, detector, report = build(greedy=True, data_fer=0.5)
+    prober.start()
+    s.run(0.05)  # a handful of probes only
+    assert not detector.evaluate(s.sim.now)
+
+
+def test_expected_application_loss_formula():
+    s, prober, detector, report = build(greedy=False, data_fer=0.0)
+    stats = s.macs["S"].stats
+    stats.data_attempts_by_dst["R"] = 100
+    stats.ack_failures_by_dst["R"] = 50
+    retries = s.phy.short_retry_limit  # no RTS/CTS in this cell
+    assert detector.expected_application_loss() == pytest.approx(0.5 ** (retries + 1))
+
+
+def test_application_loss_ignores_probes_still_in_flight():
+    s, prober, detector, report = build(greedy=False, data_fer=0.0)
+    prober.start()
+    s.run(0.5)
+    # Probes sent in the last reply_grace window don't count as lost.
+    loss = prober.application_loss_rate()
+    assert loss < 0.05

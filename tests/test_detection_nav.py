@@ -1,0 +1,112 @@
+"""Unit tests for the GRC NAV validator."""
+
+import pytest
+
+from repro.core.detection import DetectionReport, NavValidator
+from repro.mac.frames import (
+    Frame,
+    FrameKind,
+    cts_duration_from_rts,
+    max_cts_nav,
+    rts_duration,
+)
+from repro.phy.params import MAX_NAV_US, dot11b
+
+PHY = dot11b()
+
+
+def make_validator(**kwargs):
+    report = DetectionReport()
+    return NavValidator(PHY, "observer", report, **kwargs), report
+
+
+def test_honest_frames_pass_unchanged():
+    validator, report = make_validator()
+    rts = Frame(FrameKind.RTS, "s", "r", rts_duration(PHY, 1024), 20)
+    assert validator.observe_and_validate(rts, 0.0, 10.0) == rts.duration
+    cts = Frame(FrameKind.CTS, "r", "s", cts_duration_from_rts(PHY, rts.duration), 14)
+    assert validator.observe_and_validate(cts, 500.0, 10.0) == cts.duration
+    assert not report.events
+
+
+def test_inflated_cts_clamped_exactly_when_rts_was_heard():
+    validator, report = make_validator()
+    rts = Frame(FrameKind.RTS, "s", "gr", rts_duration(PHY, 1024), 20)
+    validator.observe_and_validate(rts, 0.0, 10.0)
+    expected = cts_duration_from_rts(PHY, rts.duration)
+    evil_cts = Frame(FrameKind.CTS, "gr", "s", float(MAX_NAV_US), 14)
+    corrected = validator.observe_and_validate(evil_cts, 500.0, 10.0)
+    assert corrected == pytest.approx(expected)
+    assert report.count("nav", offender="gr") == 1
+
+
+def test_inflated_cts_bounded_by_mtu_without_rts_context():
+    validator, report = make_validator(mtu_bytes=1500)
+    evil_cts = Frame(FrameKind.CTS, "gr", "s", float(MAX_NAV_US), 14)
+    corrected = validator.observe_and_validate(evil_cts, 0.0, 10.0)
+    assert corrected == pytest.approx(max_cts_nav(PHY, 1500))
+    assert report.count("nav") == 1
+
+
+def test_ack_nav_must_be_zero():
+    validator, report = make_validator()
+    evil_ack = Frame(FrameKind.ACK, "gr", "s", 20_000.0, 14)
+    assert validator.observe_and_validate(evil_ack, 0.0, 10.0) == 0.0
+    assert report.count("nav") == 1
+    honest_ack = Frame(FrameKind.ACK, "r", "s", 0.0, 14)
+    assert validator.observe_and_validate(honest_ack, 1.0, 10.0) == 0.0
+    assert report.count("nav") == 1  # unchanged
+
+
+def test_data_nav_bounded_by_sifs_plus_ack():
+    validator, report = make_validator()
+    evil_data = Frame(FrameKind.DATA, "gr", "s", 30_000.0, 1052)
+    corrected = validator.observe_and_validate(evil_data, 0.0, 10.0)
+    assert corrected == pytest.approx(PHY.sifs + PHY.ack_time)
+    assert report.count("nav") == 1
+
+
+def test_inflated_rts_bounded_by_mtu():
+    validator, report = make_validator(mtu_bytes=1500)
+    evil_rts = Frame(FrameKind.RTS, "gr", "gs", float(MAX_NAV_US), 20)
+    corrected = validator.observe_and_validate(evil_rts, 0.0, 10.0)
+    assert corrected == pytest.approx(rts_duration(PHY, 1500))
+    assert report.count("nav") == 1
+
+
+def test_cts_expectation_derived_from_inflated_rts_is_bounded():
+    """An attacker cannot poison the validator by inflating the RTS first."""
+    validator, report = make_validator(mtu_bytes=1500)
+    evil_rts = Frame(FrameKind.RTS, "gr", "gs", float(MAX_NAV_US), 20)
+    validator.observe_and_validate(evil_rts, 0.0, 10.0)
+    evil_cts = Frame(FrameKind.CTS, "gs", "gr", float(MAX_NAV_US), 14)
+    corrected = validator.observe_and_validate(evil_cts, 400.0, 10.0)
+    assert corrected <= rts_duration(PHY, 1500)
+
+
+def test_expectation_expires():
+    validator, report = make_validator()
+    rts = Frame(FrameKind.RTS, "s", "r", rts_duration(PHY, 100), 20)
+    validator.observe_and_validate(rts, 0.0, 10.0)
+    # Long after the exchange ended, the stored expectation no longer binds;
+    # the validator falls back to the (larger) MTU bound.
+    late_cts = Frame(FrameKind.CTS, "r", "s", max_cts_nav(PHY, 1500) - 1.0, 14)
+    corrected = validator.observe_and_validate(late_cts, 1e9, 10.0)
+    assert corrected == late_cts.duration
+    assert report.count("nav") == 0
+
+
+def test_tolerance_absorbs_small_deviation():
+    validator, report = make_validator(tolerance_us=5.0)
+    ack = Frame(FrameKind.ACK, "r", "s", 4.0, 14)
+    assert validator.observe_and_validate(ack, 0.0, 10.0) == 4.0
+    assert not report.events
+
+
+def test_report_offender_accounting():
+    validator, report = make_validator()
+    for i in range(3):
+        evil = Frame(FrameKind.ACK, "gr", "s", 20_000.0, 14)
+        validator.observe_and_validate(evil, float(i), 10.0)
+    assert report.offenders("nav")["gr"] == 3
+    assert validator.corrections == 3

@@ -1,0 +1,128 @@
+"""Unit tests for the spoofed-ACK detectors (RSSI and cross-layer)."""
+
+from repro.core.detection import (
+    CrossLayerSpoofDetector,
+    DetectionReport,
+    RssiSpoofDetector,
+)
+from repro.mac.frames import Frame, FrameKind
+from repro.transport.packets import Packet, PacketKind
+
+
+def ack(claimed_src="nr"):
+    return Frame(FrameKind.ACK, claimed_src, "ns", 0.0, 14)
+
+
+def make_detector(**kwargs):
+    report = DetectionReport()
+    return RssiSpoofDetector("ns", report, **kwargs), report
+
+
+def seed_reference(detector, src="nr", rssi=40.0, n=8):
+    for i in range(n):
+        detector.observe_data(src, rssi, float(i))
+
+
+def test_no_reference_passes_everything():
+    detector, report = make_detector()
+    assert not detector.is_spoofed(ack(), 10.0, 0.0)
+    assert detector.passed == 1
+
+
+def test_min_samples_before_judging():
+    detector, report = make_detector(min_samples=4)
+    detector.observe_data("nr", 40.0, 0.0)
+    assert detector.reference_rssi("nr") is None
+    assert not detector.is_spoofed(ack(), 0.0, 1.0)
+    seed_reference(detector)
+    assert detector.reference_rssi("nr") == 40.0
+
+
+def test_matching_rssi_passes():
+    detector, report = make_detector(threshold_db=1.0)
+    seed_reference(detector, rssi=40.0)
+    assert not detector.is_spoofed(ack(), 40.5, 10.0)
+    assert not report.events
+
+
+def test_weak_deviating_ack_flagged_and_ignored():
+    """Much weaker than the reference: safe to ignore (capture rule)."""
+    detector, report = make_detector(threshold_db=1.0, capture_margin_db=10.0)
+    seed_reference(detector, rssi=40.0)
+    assert detector.is_spoofed(ack(), 25.0, 10.0)
+    assert detector.flagged == 1
+    assert report.count("rssi-spoof") == 1
+
+
+def test_strong_deviating_ack_detected_but_not_ignored():
+    """Stronger than the reference: detected, but the true receiver might
+    have ACKed and been captured — the sender must not drop the ACK."""
+    detector, report = make_detector(threshold_db=1.0, capture_margin_db=10.0)
+    seed_reference(detector, rssi=40.0)
+    assert not detector.is_spoofed(ack(), 55.0, 10.0)
+    assert detector.detected_only == 1
+    assert report.count("rssi-spoof") == 1
+
+
+def test_small_weak_deviation_detected_but_not_ignored():
+    detector, report = make_detector(threshold_db=1.0, capture_margin_db=10.0)
+    seed_reference(detector, rssi=40.0)
+    # 3 dB below: deviating, but within the capture margin.
+    assert not detector.is_spoofed(ack(), 37.0, 10.0)
+    assert report.count("rssi-spoof") == 1
+
+
+def test_reference_uses_median_not_mean():
+    detector, report = make_detector()
+    seed_reference(detector, rssi=40.0, n=7)
+    detector.observe_data("nr", 200.0, 99.0)  # one wild outlier
+    assert detector.reference_rssi("nr") == 40.0
+
+
+def tcp_data(seq):
+    return Packet(PacketKind.TCP_DATA, "f", "ns", "nr", seq=seq, payload_bytes=1024)
+
+
+def test_cross_layer_detector_fires_on_acked_retransmits():
+    report = DetectionReport()
+    detector = CrossLayerSpoofDetector("ns", "f", "gr", report, min_events=3)
+    for seq in range(10):
+        detector.on_mac_acked(tcp_data(seq), "nr")
+    for seq in range(5):
+        detector.on_tcp_retransmit(seq, float(seq))
+    assert detector.detected
+    assert report.count("cross-layer", offender="gr") == 1
+
+
+def test_cross_layer_detector_ignores_unacked_retransmits():
+    """Retransmissions of segments the MAC never ACKed are normal loss."""
+    report = DetectionReport()
+    detector = CrossLayerSpoofDetector("ns", "f", "gr", report, min_events=3)
+    for seq in range(100, 110):
+        detector.on_tcp_retransmit(seq, 0.0)
+    assert not detector.detected
+    assert not report.events
+
+
+def test_cross_layer_detector_fraction_threshold():
+    report = DetectionReport()
+    detector = CrossLayerSpoofDetector(
+        "ns", "f", "gr", report, min_events=2, suspicious_fraction=0.5
+    )
+    detector.on_mac_acked(tcp_data(1), "nr")
+    # 1 acked-retransmit among 10 normal ones: below the fraction, no alarm.
+    for seq in range(100, 109):
+        detector.on_tcp_retransmit(seq, 0.0)
+    detector.on_tcp_retransmit(1, 1.0)
+    assert not detector.detected
+
+
+def test_detection_report_counts_and_bool():
+    report = DetectionReport()
+    assert not report
+    report.record(0.0, "nav", "a", "b")
+    report.record(1.0, "rssi-spoof", "a", "c")
+    assert report
+    assert report.count() == 2
+    assert report.count("nav") == 1
+    assert report.count("nav", offender="c") == 0

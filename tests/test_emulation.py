@@ -1,0 +1,51 @@
+"""Tests for the testbed emulation scenarios (Tables VI-IX)."""
+
+import pytest
+
+from repro.testbed import emulation
+
+
+def test_table6_greedy_starves_victim():
+    fair = emulation.table6_nav_rts_tcp(greedy=False, duration_s=1.5)
+    greedy = emulation.table6_nav_rts_tcp(greedy=True, duration_s=1.5)
+    assert 0.4 < fair["R1"] / max(fair["R2"], 1e-9) < 2.5
+    assert greedy["R1"] > 5 * max(greedy["R2"], 1e-3)
+
+
+@pytest.mark.parametrize("variant", ["ack_no_rtscts", "cts", "cts_ack"])
+def test_table7_variants(variant):
+    greedy = emulation.table7_nav_udp(variant=variant, greedy=True, duration_s=1.5)
+    assert greedy["R1"] > 5 * max(greedy["R2"], 1e-3)
+
+
+def test_table7_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        emulation.table7_nav_udp(variant="bogus")
+
+
+def test_table8_spoof_emulation():
+    fair = emulation.table8_spoof_emulation_tcp(greedy=False, duration_s=2.0)
+    greedy = emulation.table8_spoof_emulation_tcp(greedy=True, duration_s=2.0)
+    assert greedy["R1"] > fair["R1"]  # the greedy flow gains
+    assert greedy["R2"] < fair["R2"]  # the victim loses
+
+
+def test_table9_fake_ack_emulation():
+    fair = emulation.table9_fake_ack_emulation_udp(greedy=False, duration_s=2.0)
+    greedy = emulation.table9_fake_ack_emulation_udp(greedy=True, duration_s=2.0)
+    assert greedy["R1"] > fair["R1"]
+    assert greedy["R2"] < fair["R2"]
+
+
+def test_table9_effect_scales_with_loss_rate():
+    """The CW clamp only pays when losses trigger backoff, so the greedy
+    flow's relative gain must grow with the link loss rate (collisions alone
+    provide a small baseline effect)."""
+
+    def relative_gain(data_fer):
+        out = emulation.table9_fake_ack_emulation_udp(
+            greedy=True, duration_s=2.0, data_fer=data_fer
+        )
+        return out["R1"] / max(out["R2"], 1e-9)
+
+    assert relative_gain(0.4) > relative_gain(0.0)

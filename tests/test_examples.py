@@ -1,0 +1,57 @@
+"""Every example script must run and demonstrate its headline effect."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "starved" in out
+    assert "grabs the medium" in out
+
+
+def test_hotspot_nav_inflation():
+    out = run_example("hotspot_nav_inflation.py")
+    assert "mallory owns the channel" in out
+    assert "detections: {'mallory'" in out
+    assert "Fairness restored" in out
+
+
+def test_ack_spoofing_cafe():
+    out = run_example("ack_spoofing_cafe.py")
+    assert "spoofed ACKs transmitted" in out
+    assert "GRC:" in out and "ignored" in out
+
+
+def test_fake_ack_hidden_terminals():
+    out = run_example("fake_ack_hidden_terminals.py")
+    assert "DETECTED" in out
+
+
+def test_autorate_interactions():
+    out = run_example("autorate_interactions.py")
+    assert "BACKFIRES" in out
+    assert "pinned at" in out
+
+
+def test_detection_dashboard():
+    out = run_example("detection_dashboard.py")
+    assert "GRC verdicts:" in out
+    assert "nav-cheat:" in out
+    assert "corroborated" in out

@@ -1,0 +1,102 @@
+"""Unit tests for the greedy receiver policy (misbehavior knobs)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.greedy import ALL_FRAMES, GreedyConfig, GreedyReceiverPolicy
+from repro.mac.frames import Frame, FrameKind
+from repro.phy.params import MAX_NAV_US
+
+
+def make_policy(config, seed=1):
+    return GreedyReceiverPolicy(config, random.Random(seed))
+
+
+def cts(duration=1000.0):
+    return Frame(FrameKind.CTS, "gr", "gs", duration, 14)
+
+
+def data(dst="nr"):
+    return Frame(FrameKind.DATA, "ns", dst, 314.0, 1052, seq=1)
+
+
+def test_nav_inflation_adds_configured_amount():
+    policy = make_policy(GreedyConfig.nav_inflator(5000.0))
+    assert policy.outgoing_nav(cts(1000.0)) == 6000.0
+    assert policy.nav_inflations == 1
+
+
+def test_nav_inflation_clamped_to_protocol_max():
+    policy = make_policy(GreedyConfig.nav_inflator(float(MAX_NAV_US)))
+    assert policy.outgoing_nav(cts(1000.0)) == float(MAX_NAV_US)
+
+
+def test_nav_inflation_respects_frame_kinds():
+    policy = make_policy(
+        GreedyConfig.nav_inflator(5000.0, frames={FrameKind.ACK})
+    )
+    assert policy.outgoing_nav(cts(1000.0)) == 1000.0  # CTS untouched
+    ack = Frame(FrameKind.ACK, "gr", "gs", 0.0, 14)
+    assert policy.outgoing_nav(ack) == 5000.0
+
+
+def test_greedy_percentage_zero_never_misbehaves():
+    policy = make_policy(
+        GreedyConfig(nav_inflation_us=5000.0, greedy_percentage=0.0)
+    )
+    for _ in range(100):
+        assert policy.outgoing_nav(cts(100.0)) == 100.0
+
+
+def test_greedy_percentage_partial():
+    policy = make_policy(
+        GreedyConfig(nav_inflation_us=5000.0, greedy_percentage=50.0), seed=3
+    )
+    inflated = sum(policy.outgoing_nav(cts(100.0)) > 100.0 for _ in range(1000))
+    assert 400 < inflated < 600
+
+
+def test_spoof_victim_filter():
+    policy = make_policy(GreedyConfig.ack_spoofer(victims={"nr"}))
+    assert policy.should_spoof_ack(data(dst="nr"))
+    assert not policy.should_spoof_ack(data(dst="other"))
+
+
+def test_spoof_any_victim_by_default():
+    policy = make_policy(GreedyConfig.ack_spoofer())
+    assert policy.should_spoof_ack(data(dst="anyone"))
+
+
+def test_fake_ack_gated_by_flag():
+    honest = make_policy(GreedyConfig())
+    assert not honest.should_fake_ack(data())
+    faker = make_policy(GreedyConfig.ack_faker())
+    assert faker.should_fake_ack(data())
+    assert faker.fakes == 1
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        GreedyConfig(greedy_percentage=150.0)
+    with pytest.raises(ValueError):
+        GreedyConfig(nav_inflation_us=-1.0)
+    with pytest.raises(ValueError):
+        GreedyConfig(spoof_percentage=-5.0)
+
+
+def test_all_frames_constant_covers_everything():
+    assert ALL_FRAMES == frozenset(FrameKind)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=40_000.0),
+    st.floats(min_value=0.0, max_value=32_000.0),
+)
+def test_property_inflated_nav_bounded(inflation, original):
+    policy = make_policy(GreedyConfig.nav_inflator(inflation))
+    out = policy.outgoing_nav(cts(original))
+    assert out >= min(original, float(MAX_NAV_US)) - 1e-9
+    assert out <= float(MAX_NAV_US)

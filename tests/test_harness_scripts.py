@@ -1,0 +1,49 @@
+"""Tests for the run_all / make_experiments_md harness scripts."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_script(name):
+    path = ROOT / "benchmarks" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_all_subset_quick(tmp_path, capsys):
+    run_all = load_script("run_all")
+    rc = run_all.main(["table3", "--quick", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "table3.txt").exists()
+    assert (tmp_path / "ALL.txt").exists()
+    assert "Table III" in (tmp_path / "table3.txt").read_text()
+
+
+def test_run_all_rejects_unknown(tmp_path):
+    run_all = load_script("run_all")
+    with pytest.raises(SystemExit):
+        run_all.main(["fig99", "--results-dir", str(tmp_path)])
+
+
+def test_run_all_order_covers_every_artifact():
+    run_all = load_script("run_all")
+    from repro.experiments import ALL_EXPERIMENTS, EXTENSIONS
+
+    assert set(run_all.ORDER) == set(ALL_EXPERIMENTS) | set(EXTENSIONS)
+
+
+def test_commentary_covers_every_artifact():
+    make_md = load_script("make_experiments_md")
+    from repro.experiments import ALL_EXPERIMENTS, EXTENSIONS
+
+    assert set(make_md.COMMENTARY) == set(ALL_EXPERIMENTS) | set(EXTENSIONS)
+    assert set(make_md.ORDER) == set(make_md.COMMENTARY)
+    for paper, verdict in make_md.COMMENTARY.values():
+        assert paper.strip() and verdict.strip()

@@ -1,0 +1,155 @@
+"""End-to-end integration tests: each misbehavior and its countermeasure.
+
+Short runs (≈1 simulated second) that assert the paper's headline effects
+qualitatively; the full quantitative sweeps live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+from repro.phy.error import set_ber_all_pairs
+
+US = 1_000_000.0
+
+
+def two_pair_udp(greedy_config, seed=1, duration=1.0, **scenario_kwargs):
+    s = Scenario(seed=seed, **scenario_kwargs)
+    s.add_wireless_node("NS")
+    s.add_wireless_node("GS")
+    s.add_wireless_node("NR")
+    s.add_wireless_node("GR", greedy=greedy_config)
+    f1, k1 = s.udp_flow("NS", "NR")
+    f2, k2 = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(duration)
+    return s, k1.goodput_mbps(duration * US), k2.goodput_mbps(duration * US)
+
+
+class TestNavInflation:
+    def test_honest_baseline_is_fair(self):
+        _s, nr, gr = two_pair_udp(None)
+        assert 0.4 < nr / gr < 2.5
+
+    def test_inflated_cts_nav_starves_competitor(self):
+        config = GreedyConfig.nav_inflator(10_000.0, {FrameKind.CTS})
+        _s, nr, gr = two_pair_udp(config)
+        assert gr > 10 * max(nr, 1e-3)
+
+    def test_inflated_ack_nav_works_without_rtscts(self):
+        config = GreedyConfig.nav_inflator(10_000.0, {FrameKind.ACK})
+        _s, nr, gr = two_pair_udp(config, rts_enabled=False)
+        assert gr > 5 * max(nr, 1e-3)
+
+    def test_greedy_sender_mac_never_defers_to_own_receiver(self):
+        """The inflated CTS is addressed to GS, so GS itself is unaffected."""
+        config = GreedyConfig.nav_inflator(31_000.0, {FrameKind.CTS})
+        s, _nr, _gr = two_pair_udp(config)
+        assert s.macs["GS"].stats.average_cw < 40
+
+    def test_grc_restores_fairness_and_attributes_blame(self):
+        config = GreedyConfig.nav_inflator(31_000.0, {FrameKind.CTS})
+        s = Scenario(seed=1)
+        s.add_wireless_node("NS")
+        s.add_wireless_node("GS")
+        s.add_wireless_node("NR")
+        s.add_wireless_node("GR", greedy=config)
+        s.enable_nav_validation()
+        f1, k1 = s.udp_flow("NS", "NR")
+        f2, k2 = s.udp_flow("GS", "GR")
+        f1.start()
+        f2.start()
+        s.run(1.0)
+        nr, gr = k1.goodput_mbps(US), k2.goodput_mbps(US)
+        assert 0.4 < nr / gr < 2.5
+        offenders = s.report.offenders("nav")
+        assert set(offenders) == {"GR"}
+
+
+class TestAckSpoofing:
+    def build(self, spoof, grc=False, ber=2e-4, seed=2):
+        s = Scenario(seed=seed)
+        s.add_wireless_node("NS", position=(0, 0))
+        s.add_wireless_node("GS", position=(60, 60))
+        s.add_wireless_node("NR", position=(10, 0))
+        config = GreedyConfig.ack_spoofer(victims={"NR"}) if spoof else None
+        s.add_wireless_node("GR", position=(48, 20), greedy=config)
+        set_ber_all_pairs(s.error_model, ["NS", "GS", "NR", "GR"], ber)
+        if grc:
+            s.enable_spoof_detection(["NS"])
+        snd1, rcv1 = s.tcp_flow("NS", "NR")
+        snd2, rcv2 = s.tcp_flow("GS", "GR")
+        snd1.start()
+        snd2.start()
+        s.run(2.0)
+        return s, rcv1.goodput_mbps(2 * US), rcv2.goodput_mbps(2 * US)
+
+    def test_spoofer_gains_under_losses(self):
+        _s, nr_honest, gr_honest = self.build(spoof=False)
+        _s, nr, gr = self.build(spoof=True)
+        assert gr > gr_honest
+        assert nr < nr_honest
+
+    def test_spoofed_acks_are_transmitted(self):
+        s, _nr, _gr = self.build(spoof=True)
+        assert s.macs["GR"].stats.tx_spoofed_ack > 0
+
+    def test_grc_detects_and_recovers(self):
+        _s, nr_honest, _gr = self.build(spoof=False)
+        s, nr, gr = self.build(spoof=True, grc=True)
+        assert s.report.count("rssi-spoof") > 0
+        assert nr > 0.5 * nr_honest  # victim recovered
+        assert s.macs["NS"].stats.acks_ignored_by_grc > 0
+
+
+class TestFakeAcks:
+    def build(self, fake, fer=0.5, seed=1):
+        s = Scenario(seed=seed, rts_enabled=False)
+        s.add_wireless_node("S1")
+        s.add_wireless_node("S2")
+        s.add_wireless_node("R1")
+        s.add_wireless_node("R2", greedy=GreedyConfig.ack_faker() if fake else None)
+        s.error_model.set_data_fer("S1", "R1", fer)
+        s.error_model.set_data_fer("S2", "R2", fer)
+        f1, k1 = s.udp_flow("S1", "R1")
+        f2, k2 = s.udp_flow("S2", "R2")
+        f1.start()
+        f2.start()
+        s.run(1.5)
+        return s, k1.goodput_mbps(1.5 * US), k2.goodput_mbps(1.5 * US)
+
+    def test_faker_gains_under_inherent_loss(self):
+        _s, r1_honest, r2_honest = self.build(fake=False)
+        s, r1, r2 = self.build(fake=True)
+        assert r2 > 1.3 * r2_honest
+        assert s.macs["R2"].stats.tx_fake_ack > 0
+
+    def test_faker_sender_keeps_small_cw(self):
+        s, _r1, _r2 = self.build(fake=True)
+        assert s.macs["S2"].stats.average_cw < s.macs["S1"].stats.average_cw
+
+
+class TestCrossLayerDetection:
+    def test_cross_layer_detector_fires_on_spoofed_flow(self):
+        from repro.core.detection import CrossLayerSpoofDetector
+
+        s = Scenario(seed=2)
+        s.add_wireless_node("NS", position=(0, 0))
+        s.add_wireless_node("GS", position=(60, 60))
+        s.add_wireless_node("NR", position=(10, 0))
+        s.add_wireless_node(
+            "GR", position=(48, 20), greedy=GreedyConfig.ack_spoofer(victims={"NR"})
+        )
+        set_ber_all_pairs(s.error_model, ["NS", "GS", "NR", "GR"], 2e-4)
+        snd, _rcv = s.tcp_flow("NS", "NR")
+        detector = CrossLayerSpoofDetector("NS", snd.flow_id, "GR", s.report)
+        s.macs["NS"].on_msdu_sent = detector.on_mac_acked
+        snd.on_retransmit = detector.on_tcp_retransmit
+        snd2, _rcv2 = s.tcp_flow("GS", "GR")
+        snd.start()
+        snd2.start()
+        s.run(3.0)
+        assert detector.detected
+        assert s.report.count("cross-layer") == 1

@@ -1,0 +1,69 @@
+"""Unit tests for frame construction and NAV arithmetic."""
+
+import pytest
+
+from repro.mac.frames import (
+    Frame,
+    FrameKind,
+    ack_duration,
+    cts_duration_from_rts,
+    data_duration,
+    expected_cts_nav,
+    frame_size,
+    max_cts_nav,
+    rts_duration,
+)
+from repro.phy.params import MAX_NAV_US, dot11b
+
+
+def test_rts_nav_covers_the_whole_exchange():
+    phy = dot11b()
+    nav = rts_duration(phy, 1024)
+    expected = 3 * phy.sifs + phy.cts_time + phy.data_time(1024) + phy.ack_time
+    assert nav == pytest.approx(expected)
+
+
+def test_cts_nav_subtracts_sifs_and_cts():
+    phy = dot11b()
+    rts_nav = rts_duration(phy, 1024)
+    cts_nav = cts_duration_from_rts(phy, rts_nav)
+    assert cts_nav == pytest.approx(rts_nav - phy.sifs - phy.cts_time)
+    # Degenerate RTS NAV never yields a negative CTS NAV.
+    assert cts_duration_from_rts(phy, 0.0) == 0.0
+
+
+def test_data_and_ack_navs():
+    phy = dot11b()
+    assert data_duration(phy) == pytest.approx(phy.sifs + phy.ack_time)
+    assert ack_duration() == 0.0
+
+
+def test_expected_cts_nav_matches_honest_receiver():
+    phy = dot11b()
+    rts_nav = rts_duration(phy, 500)
+    assert expected_cts_nav(phy, rts_nav) == cts_duration_from_rts(phy, rts_nav)
+
+
+def test_max_cts_nav_uses_mtu():
+    phy = dot11b()
+    bound = max_cts_nav(phy, 1500)
+    assert bound == pytest.approx(2 * phy.sifs + phy.data_time(1500) + phy.ack_time)
+    # The MTU bound covers any real payload up to the MTU.
+    assert bound > cts_duration_from_rts(phy, rts_duration(phy, 1064))
+
+
+def test_frame_clamps_duration_to_protocol_max():
+    frame = Frame(FrameKind.CTS, "a", "b", 1e9, 14)
+    assert frame.duration == float(MAX_NAV_US)
+
+
+def test_frame_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Frame(FrameKind.CTS, "a", "b", -1.0, 14)
+
+
+def test_frame_sizes():
+    assert frame_size(FrameKind.RTS) == 20
+    assert frame_size(FrameKind.CTS) == 14
+    assert frame_size(FrameKind.ACK) == 14
+    assert frame_size(FrameKind.DATA, 1024) == 28 + 1024

@@ -1,0 +1,83 @@
+"""Fuzz the MAC receive path with randomized frame sequences.
+
+The DCF state machine must never crash or corrupt its invariants no matter
+what arrives off the air — including nonsense sequences a misbehaving or
+buggy station could emit (CTS without RTS, ACKs out of the blue, corrupted
+frames with broken addresses, NAV extremes).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mac.dcf import DcfMac, IDLE, CONTEND, SEND_DATA, WAIT_ACK, WAIT_CTS
+from repro.mac.frames import Frame, FrameKind
+from repro.phy.error import BitErrorModel
+from repro.phy.medium import Medium, Radio
+from repro.phy.params import MAX_NAV_US, dot11b
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+VALID_STATES = {IDLE, CONTEND, SEND_DATA, WAIT_ACK, WAIT_CTS}
+
+frame_strategy = st.builds(
+    Frame,
+    kind=st.sampled_from(list(FrameKind)),
+    src=st.sampled_from(["n0", "n1", "n2", "ghost"]),
+    dst=st.sampled_from(["n0", "n1", "n2", "ghost", "*"]),
+    duration=st.floats(min_value=0.0, max_value=MAX_NAV_US * 2),
+    size_bytes=st.integers(min_value=1, max_value=2000),
+    seq=st.integers(min_value=0, max_value=100),
+)
+
+event_strategy = st.tuples(
+    frame_strategy,
+    st.booleans(),  # corrupted
+    st.booleans(),  # addr_ok
+    st.floats(min_value=-20.0, max_value=80.0),  # rssi
+    st.floats(min_value=0.0, max_value=2000.0),  # inter-arrival us
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(event_strategy, min_size=1, max_size=40), st.booleans())
+def test_mac_survives_arbitrary_receive_sequences(events, has_traffic):
+    sim = Simulator()
+    streams = RngStreams(1)
+    medium = Medium(sim, dot11b(), streams.stream("m"), error_model=BitErrorModel())
+    radio = Radio(medium, "n1", (0.0, 0.0))
+    peer = Radio(medium, "n2", (0.0, 0.0))
+    mac = DcfMac(sim, dot11b(), radio, streams.stream("mac"))
+    DcfMac(sim, dot11b(), peer, streams.stream("mac2"))
+    if has_traffic:
+        mac.send("payload", "n2", 1024)
+
+    for frame, corrupted, addr_ok, rssi, gap in events:
+        sim.run(until=sim.now + gap)
+        mac.phy_receive(frame, corrupted, addr_ok, rssi)
+        assert mac.state in VALID_STATES
+        assert mac.cw_min <= mac.cw <= max(mac.cw_max, mac.cw_min)
+        assert mac.nav_until >= 0.0
+    sim.run(until=sim.now + 100_000.0)
+    assert mac.state in VALID_STATES
+    # Queue drained or still pending — never negative, never duplicated.
+    assert 0 <= mac.queue_length <= 1
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(frame_strategy, min_size=1, max_size=20))
+def test_nav_never_decreases_from_overheard_frames(frames):
+    """Virtual carrier sense may only extend, never shrink."""
+    sim = Simulator()
+    streams = RngStreams(2)
+    medium = Medium(sim, dot11b(), streams.stream("m"), error_model=BitErrorModel())
+    radio = Radio(medium, "me", (0.0, 0.0))
+    mac = DcfMac(sim, dot11b(), radio, streams.stream("mac"))
+    nav = mac.nav_until
+    for frame in frames:
+        if frame.dst == "me":
+            continue
+        mac.phy_receive(frame, False, True, 30.0)
+        assert mac.nav_until >= nav
+        nav = mac.nav_until
+        sim.run(until=sim.now + 10.0)

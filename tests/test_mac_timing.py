@@ -1,0 +1,117 @@
+"""Protocol-timing tests: the exact DCF frame choreography on the air.
+
+Uses the frame tracer to check inter-frame spacings, NAV arithmetic of real
+exchanges, and the airtime accounting the whole evaluation rests on.
+"""
+
+import pytest
+
+from repro.mac.frames import FrameKind, cts_duration_from_rts
+from repro.net.scenario import Scenario
+from repro.stats.trace import FrameTracer
+
+
+def run_single_exchange(rts_enabled=True, seed=1):
+    s = Scenario(seed=seed, rts_enabled=rts_enabled)
+    s.add_wireless_node("a")
+    s.add_wireless_node("b")
+    tracer = FrameTracer(s.medium)
+    s._auto_route("a", "b")
+    from repro.transport.packets import Packet, PacketKind
+
+    packet = Packet(PacketKind.UDP_DATA, "f", "a", "b", payload_bytes=1024)
+    s.macs["a"].send(packet, "b", packet.size_bytes)
+    s.run(0.05)
+    return s, tracer.records
+
+
+def test_exchange_frame_order():
+    s, records = run_single_exchange()
+    assert [r.kind for r in records] == ["RTS", "CTS", "DATA", "ACK"]
+
+
+def test_sifs_separates_response_frames():
+    s, records = run_single_exchange()
+    rts, cts, data, ack = records
+    sifs = s.phy.sifs
+    # CTS starts one SIFS after the RTS ends (prop delay ~0 when co-located).
+    rts_end = rts.time_us + rts.airtime_us
+    assert cts.time_us - rts_end == pytest.approx(sifs, abs=0.2)
+    data_end = data.time_us + data.airtime_us
+    assert ack.time_us - data_end == pytest.approx(sifs, abs=0.2)
+
+
+def test_initial_access_waits_at_least_difs():
+    s, records = run_single_exchange()
+    assert records[0].time_us >= s.phy.difs
+
+
+def test_nav_chain_is_consistent():
+    """Each frame's NAV covers exactly the remainder of the exchange."""
+    s, records = run_single_exchange()
+    rts, cts, data, ack = records
+    sifs = s.phy.sifs
+    # RTS NAV = SIFS + CTS + SIFS + DATA + SIFS + ACK.
+    expected_rts_nav = 3 * sifs + cts.airtime_us + data.airtime_us + ack.airtime_us
+    assert rts.nav_us == pytest.approx(expected_rts_nav, abs=0.5)
+    assert cts.nav_us == pytest.approx(
+        cts_duration_from_rts(s.phy, rts.nav_us), abs=0.5
+    )
+    assert data.nav_us == pytest.approx(sifs + ack.airtime_us, abs=0.5)
+    assert ack.nav_us == 0.0
+
+
+def test_exchange_without_rtscts_is_two_frames():
+    s, records = run_single_exchange(rts_enabled=False)
+    assert [r.kind for r in records] == ["DATA", "ACK"]
+
+
+def test_control_frames_use_basic_rate_airtime():
+    s, records = run_single_exchange()
+    rts = records[0]
+    assert rts.airtime_us == pytest.approx(s.phy.rts_time)
+    data = records[2]
+    assert data.airtime_us == pytest.approx(s.phy.data_time(1024 + 40))
+
+
+def test_saturated_cell_airtime_is_conserved():
+    """Total airtime + mandatory gaps cannot exceed the simulated time."""
+    s = Scenario(seed=3)
+    s.add_wireless_node("a")
+    s.add_wireless_node("b")
+    s.add_wireless_node("c")
+    s.add_wireless_node("d")
+    tracer = FrameTracer(s.medium)
+    f1, _ = s.udp_flow("a", "b")
+    f2, _ = s.udp_flow("c", "d")
+    f1.start()
+    f2.start()
+    duration_us = 500_000.0
+    s.run(duration_us / 1e6)
+    total_airtime = sum(r.airtime_us for r in tracer.records)
+    assert total_airtime < duration_us
+    # A saturated 802.11b cell is busy most of the time.
+    assert total_airtime > 0.7 * duration_us
+
+
+def test_backoff_slots_are_slot_aligned():
+    """Between consecutive exchanges, the idle gap is DIFS + k slots."""
+    s = Scenario(seed=5)
+    s.add_wireless_node("a")
+    s.add_wireless_node("b")
+    tracer = FrameTracer(s.medium)
+    src, _sink = s.udp_flow("a", "b")
+    src.start()
+    s.run(0.2)
+    exchanges = [r for r in tracer.records if r.kind == "RTS"]
+    acks = [r for r in tracer.records if r.kind == "ACK"]
+    checked = 0
+    for ack, next_rts in zip(acks, exchanges[1:]):
+        gap = next_rts.time_us - (ack.time_us + ack.airtime_us)
+        if gap <= 0:  # source was idle (no packet queued): skip
+            continue
+        slots = (gap - s.phy.difs) / s.phy.slot_time
+        if slots >= -0.01:
+            assert slots == pytest.approx(round(slots), abs=0.05)
+            checked += 1
+    assert checked > 3

@@ -1,0 +1,85 @@
+"""Unit tests for the Equations (1)-(2) analytic model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import backoff_pmf, sending_probabilities, sending_ratio
+
+
+def test_backoff_pmf_single_cw_is_uniform():
+    pmf = backoff_pmf({31: 1.0})
+    assert len(pmf) == 32
+    for p in pmf.values():
+        assert p == pytest.approx(1 / 32)
+    assert sum(pmf.values()) == pytest.approx(1.0)
+
+
+def test_backoff_pmf_mixture():
+    pmf = backoff_pmf({1: 0.5, 3: 0.5})
+    # i=0,1 get 0.5/2 + 0.5/4; i=2,3 get 0.5/4.
+    assert pmf[0] == pytest.approx(0.375)
+    assert pmf[3] == pytest.approx(0.125)
+    assert sum(pmf.values()) == pytest.approx(1.0)
+
+
+def test_backoff_pmf_rejects_negative_cw():
+    with pytest.raises(ValueError):
+        backoff_pmf({-1: 1.0})
+
+
+def test_symmetric_at_zero_inflation():
+    dist = {31: 1.0}
+    p_gs, p_ns = sending_probabilities(dist, dist, 0.0)
+    assert p_gs == pytest.approx(p_ns, rel=0.05)
+    share_gs, share_ns = sending_ratio(dist, dist, 0.0)
+    assert share_gs == pytest.approx(0.5, abs=0.02)
+
+
+def test_gs_share_grows_with_inflation():
+    dist = {31: 1.0}
+    shares = [sending_ratio(dist, dist, v)[0] for v in (0, 5, 10, 20, 31)]
+    assert shares == sorted(shares)
+    assert shares[-1] > 0.95
+
+
+def test_huge_inflation_gives_gs_certainty():
+    dist = {31: 1.0}
+    p_gs, p_ns = sending_probabilities(dist, dist, 100.0)
+    assert p_gs == pytest.approx(1.0)
+    assert p_ns == pytest.approx(0.0, abs=1e-9)
+
+
+def test_ns_with_larger_cw_is_disadvantaged_even_without_inflation():
+    p_gs, p_ns = sending_probabilities({31: 1.0}, {255: 1.0}, 0.0)
+    assert p_gs > p_ns
+
+
+def test_empty_distribution_rejected():
+    with pytest.raises(ValueError):
+        sending_probabilities({}, {31: 1.0}, 0.0)
+
+
+def test_shares_sum_to_one():
+    share_gs, share_ns = sending_ratio({31: 1.0}, {63: 0.5, 127: 0.5}, 7.0)
+    assert share_gs + share_ns == pytest.approx(1.0)
+
+
+@settings(deadline=None)  # large-CW PMFs take ~ms; flaky under CPU load
+@given(
+    st.dictionaries(
+        st.sampled_from([15, 31, 63, 127, 255, 511, 1023]),
+        st.floats(min_value=0.01, max_value=1.0),
+        min_size=1,
+        max_size=4,
+    ),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+def test_property_probabilities_are_probabilities(raw_dist, v):
+    total = sum(raw_dist.values())
+    dist = {k: p / total for k, p in raw_dist.items()}
+    p_gs, p_ns = sending_probabilities(dist, dist, v)
+    assert -1e-9 <= p_gs <= 1.0 + 1e-9
+    assert -1e-9 <= p_ns <= 1.0 + 1e-9
+    # GS can only benefit from inflation relative to NS.
+    assert p_gs >= p_ns - 1e-9

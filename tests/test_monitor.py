@@ -1,0 +1,87 @@
+"""Unit + integration tests for the misbehavior monitor."""
+
+import pytest
+
+from repro.core.detection import DetectionReport, MisbehaviorMonitor
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+
+
+def seeded_report():
+    report = DetectionReport()
+    for i in range(10):
+        report.record(i * 100_000.0, "nav", "NS", "GR")
+    for i in range(4):
+        report.record(i * 200_000.0, "rssi-spoof", "AP", "GR")
+    report.record(0.0, "nav", "NR", "innocent")  # a single stray event
+    return report
+
+
+def test_verdicts_rank_by_detections():
+    monitor = MisbehaviorMonitor(seeded_report())
+    verdicts = monitor.verdicts()
+    assert [v.offender for v in verdicts] == ["GR"]
+    gr = verdicts[0]
+    assert gr.total_detections == 14
+    assert gr.by_detector == {"nav": 10, "rssi-spoof": 4}
+    assert gr.observers == ("AP", "NS")
+    assert gr.corroborated
+
+
+def test_min_detections_filters_strays():
+    monitor = MisbehaviorMonitor(seeded_report(), min_detections=3)
+    assert all(v.offender != "innocent" for v in monitor.verdicts())
+    lax = MisbehaviorMonitor(seeded_report(), min_detections=1)
+    assert any(v.offender == "innocent" for v in lax.verdicts())
+
+
+def test_rate_computation():
+    report = DetectionReport()
+    for i in range(11):
+        report.record(i * 100_000.0, "nav", "a", "x")  # 11 events over 1 s
+    monitor = MisbehaviorMonitor(report)
+    (verdict,) = monitor.verdicts()
+    assert verdict.rate_per_s == pytest.approx(11.0, rel=0.05)
+
+
+def test_rate_threshold():
+    report = DetectionReport()
+    for i in range(5):
+        report.record(i * 10_000_000.0, "nav", "a", "slow")  # 0.1/s
+    monitor = MisbehaviorMonitor(report, min_rate_per_s=1.0)
+    assert monitor.verdicts() == []
+
+
+def test_invalid_thresholds():
+    with pytest.raises(ValueError):
+        MisbehaviorMonitor(DetectionReport(), min_detections=0)
+
+
+def test_to_text():
+    monitor = MisbehaviorMonitor(seeded_report())
+    text = monitor.to_text()
+    assert "GR: 14 detections" in text
+    assert "corroborated" in text
+    assert MisbehaviorMonitor(DetectionReport()).to_text() == "no misbehavior detected\n"
+
+
+def test_end_to_end_monitor_names_the_greedy_receiver():
+    s = Scenario(seed=1)
+    s.add_wireless_node("NS")
+    s.add_wireless_node("GS")
+    s.add_wireless_node("NR")
+    s.add_wireless_node(
+        "GR", greedy=GreedyConfig.nav_inflator(31_000.0, {FrameKind.CTS})
+    )
+    s.enable_nav_validation()
+    f1, _ = s.udp_flow("NS", "NR")
+    f2, _ = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(1.0)
+    monitor = MisbehaviorMonitor(s.report)
+    verdicts = monitor.verdicts()
+    assert len(verdicts) == 1
+    assert verdicts[0].offender == "GR"
+    assert len(verdicts[0].observers) >= 2  # NS and NR both validate

@@ -1,0 +1,113 @@
+"""Unit tests for nodes, routing, and wired links."""
+
+import pytest
+
+from repro.net.scenario import Scenario
+from repro.transport.packets import Packet, PacketKind
+
+
+def test_missing_route_raises():
+    s = Scenario(seed=1)
+    node = s.add_wireless_node("a")
+    packet = Packet(PacketKind.UDP_DATA, "f", "a", "ghost")
+    with pytest.raises(LookupError):
+        node.send_packet(packet)
+
+
+def test_wireless_route_without_mac_raises():
+    s = Scenario(seed=1)
+    wired = s.add_wired_node("w")
+    wired.add_wireless_route("b")
+    with pytest.raises(RuntimeError):
+        wired.send_packet(Packet(PacketKind.UDP_DATA, "f", "w", "b"))
+
+
+def test_duplicate_flow_binding_rejected():
+    s = Scenario(seed=1)
+    node = s.add_wireless_node("a")
+    node.bind_agent("f", object())
+    with pytest.raises(ValueError):
+        node.bind_agent("f", object())
+
+
+def test_duplicate_node_names_rejected():
+    s = Scenario(seed=1)
+    s.add_wireless_node("a")
+    with pytest.raises(ValueError):
+        s.add_wireless_node("a")
+    with pytest.raises(ValueError):
+        s.add_wired_node("a")
+
+
+def test_wired_link_delivers_after_delay():
+    s = Scenario(seed=1)
+    a = s.add_wired_node("a")
+    b = s.add_wired_node("b")
+    link = s.wired_link("a", "b", one_way_delay_us=5000.0)
+    received = []
+
+    class Agent:
+        def receive(self, packet):
+            received.append((packet.seq, s.sim.now))
+
+    b.bind_agent("f", Agent())
+    a.add_wired_route("b", link)
+    a.send_packet(Packet(PacketKind.UDP_DATA, "f", "a", "b", seq=7))
+    s.sim.run()
+    assert received == [(7, 5000.0)]
+
+
+def test_wired_link_bandwidth_serialization():
+    s = Scenario(seed=1)
+    a = s.add_wired_node("a")
+    b = s.add_wired_node("b")
+    # 1 Mbps: a 1000+40 B packet takes 8320 us to serialize.
+    link = s.wired_link("a", "b", one_way_delay_us=0.0, bandwidth_bps=1e6)
+    times = []
+
+    class Agent:
+        def receive(self, packet):
+            times.append(s.sim.now)
+
+    b.bind_agent("f", Agent())
+    a.add_wired_route("b", link)
+    for i in range(2):
+        a.send_packet(
+            Packet(PacketKind.UDP_DATA, "f", "a", "b", seq=i, payload_bytes=1000)
+        )
+    s.sim.run()
+    assert times[0] == pytest.approx(8320.0)
+    assert times[1] == pytest.approx(16640.0)  # queued behind the first
+
+
+def test_wired_link_rejects_foreign_sender():
+    s = Scenario(seed=1)
+    a = s.add_wired_node("a")
+    b = s.add_wired_node("b")
+    c = s.add_wired_node("c")
+    link = s.wired_link("a", "b", 100.0)
+    with pytest.raises(ValueError):
+        link.transmit(Packet(PacketKind.UDP_DATA, "f", "c", "b"), c)
+
+
+def test_negative_delay_rejected():
+    s = Scenario(seed=1)
+    s.add_wired_node("a")
+    s.add_wired_node("b")
+    with pytest.raises(ValueError):
+        s.wired_link("a", "b", -1.0)
+
+
+def test_ap_forwards_between_wire_and_wireless():
+    """Remote host -> wired link -> AP -> wireless client, and back."""
+    s = Scenario(seed=1)
+    s.add_wireless_node("AP")
+    s.add_wireless_node("client")
+    remote = s.add_wired_node("remote")
+    link = s.wired_link("remote", "AP", 2000.0)
+    s.route_remote_flow("remote", "AP", "client", link)
+    snd, rcv = s.tcp_flow("remote", "client", auto_route=False)
+    snd.start()
+    s.run(2.0)
+    assert rcv.segments_received > 50
+    assert s.nodes["AP"].forwarded > 100  # data down + ACKs back up

@@ -1,0 +1,98 @@
+"""Unit tests for the frame loss model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.error import BitErrorModel, frame_error_rate, set_ber_all_pairs
+
+
+def test_zero_ber_is_lossless():
+    assert frame_error_rate(0.0, 1024) == 0.0
+
+
+def test_table3_calibration():
+    """The mapping must reproduce the paper's Table III for control frames."""
+    assert frame_error_rate(2e-4, 14) == pytest.approx(7.519e-3, rel=0.02)
+    assert frame_error_rate(2e-4, 20) == pytest.approx(8.762e-3, rel=0.02)
+    assert frame_error_rate(2e-4, 1092) == pytest.approx(2.033e-1, rel=0.05)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        frame_error_rate(-0.1, 100)
+    with pytest.raises(ValueError):
+        frame_error_rate(1.5, 100)
+    with pytest.raises(ValueError):
+        frame_error_rate(0.1, -1)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_fer_is_a_probability(ber, size):
+    fer = frame_error_rate(ber, size)
+    assert 0.0 <= fer <= 1.0
+
+
+@given(
+    st.floats(min_value=1e-7, max_value=1e-2),
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=1, max_value=2000),
+)
+def test_property_fer_monotonic_in_size(ber, a, b):
+    small, large = min(a, b), max(a, b)
+    assert frame_error_rate(ber, small) <= frame_error_rate(ber, large)
+
+
+def test_default_and_per_link_ber():
+    model = BitErrorModel(default_ber=0.0)
+    model.set_ber("a", "b", 1.0)
+    rng = random.Random(1)
+    assert model.is_corrupted("a", "b", 100, True, rng)
+    assert not model.is_corrupted("b", "a", 100, True, rng)  # default 0
+
+
+def test_symmetric_ber_helper():
+    model = BitErrorModel()
+    model.set_ber_symmetric("a", "b", 0.5)
+    assert model.ber("a", "b") == 0.5
+    assert model.ber("b", "a") == 0.5
+
+
+def test_direct_data_fer_spares_control_frames():
+    model = BitErrorModel()
+    model.set_data_fer("a", "b", 1.0)
+    rng = random.Random(1)
+    assert model.is_corrupted("a", "b", 1024, True, rng)  # data always lost
+    assert not model.is_corrupted("a", "b", 14, False, rng)  # ACK clean
+
+
+def test_invalid_rates_rejected():
+    model = BitErrorModel()
+    with pytest.raises(ValueError):
+        model.set_ber("a", "b", 1.5)
+    with pytest.raises(ValueError):
+        model.set_data_fer("a", "b", -0.1)
+
+
+def test_set_ber_all_pairs_covers_every_directed_link():
+    model = BitErrorModel()
+    set_ber_all_pairs(model, ["a", "b", "c"], 0.25)
+    for src in "abc":
+        for dst in "abc":
+            if src != dst:
+                assert model.ber(src, dst) == 0.25
+    assert model.ber("a", "a") == 0.0  # self-links untouched
+
+
+def test_monte_carlo_matches_analytic_fer():
+    model = BitErrorModel()
+    model.set_ber("a", "b", 2e-4)
+    rng = random.Random(99)
+    n = 20_000
+    hits = sum(model.is_corrupted("a", "b", 1092, True, rng) for _ in range(n))
+    assert hits / n == pytest.approx(frame_error_rate(2e-4, 1092), rel=0.1)

@@ -1,0 +1,73 @@
+"""Unit tests for PHY timing parameters and airtime."""
+
+import math
+
+import pytest
+
+from repro.phy.params import dot11a, dot11b
+
+
+def test_dot11b_ifs_values():
+    phy = dot11b()
+    assert phy.slot_time == 20.0
+    assert phy.sifs == 10.0
+    assert phy.difs == 50.0  # SIFS + 2 slots
+    assert phy.cw_min == 31
+    assert phy.cw_max == 1023
+
+
+def test_dot11a_ifs_values():
+    phy = dot11a()
+    assert phy.slot_time == 9.0
+    assert phy.sifs == 16.0
+    assert phy.difs == 34.0
+    assert phy.cw_min == 15
+
+
+def test_dot11b_control_frame_airtimes():
+    phy = dot11b()
+    # Long preamble (192 us) plus the frame body at 1 Mbps.
+    assert phy.rts_time == pytest.approx(192 + 20 * 8 / 1.0)
+    assert phy.cts_time == pytest.approx(192 + 14 * 8 / 1.0)
+    assert phy.ack_time == pytest.approx(phy.cts_time)
+
+
+def test_dot11b_data_airtime_uses_data_rate():
+    phy = dot11b(11.0)
+    expected = 192 + (28 + 1024) * 8 / 11.0
+    assert phy.data_time(1024) == pytest.approx(expected)
+
+
+def test_dot11a_airtime_rounds_to_symbols():
+    phy = dot11a(6.0)
+    airtime = phy.airtime(14, 6.0)
+    # 20 us preamble plus whole 4 us symbols.
+    assert (airtime - 20.0) % 4.0 == pytest.approx(0.0)
+    # 14 bytes -> 16+6+112=134 bits -> ceil(134/24)=6 symbols -> 44 us.
+    assert airtime == pytest.approx(44.0)
+
+
+def test_dot11a_higher_rate_shrinks_airtime():
+    slow = dot11a(6.0).data_time(1024)
+    fast = dot11a(24.0).data_time(1024)
+    assert fast < slow
+
+
+def test_eifs_exceeds_difs():
+    for phy in (dot11b(), dot11a()):
+        assert phy.eifs == pytest.approx(phy.sifs + phy.ack_time + phy.difs)
+        assert phy.eifs > phy.difs
+
+
+def test_timeouts_cover_the_expected_response():
+    phy = dot11b()
+    # A CTS arriving after SIFS + its airtime must beat the CTS timeout.
+    assert phy.cts_timeout() > phy.sifs + phy.cts_time
+    assert phy.ack_timeout() > phy.sifs + phy.ack_time
+
+
+def test_airtime_monotonic_in_size():
+    phy = dot11b()
+    times = [phy.airtime(n) for n in (10, 100, 1000, 1500)]
+    assert times == sorted(times)
+    assert all(not math.isnan(t) and t > 0 for t in times)

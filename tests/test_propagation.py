@@ -1,0 +1,60 @@
+"""Unit tests for the propagation model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.propagation import PathLossModel, distance, rss_to_db
+
+
+def test_rss_decays_with_distance():
+    model = PathLossModel()
+    rss = [model.rss(1.0, d) for d in (1, 10, 50, 100)]
+    assert rss == sorted(rss, reverse=True)
+
+
+def test_rss_clamps_below_reference_distance():
+    model = PathLossModel(reference_distance=1.0)
+    assert model.rss(1.0, 0.0) == model.rss(1.0, 0.5) == model.rss(1.0, 1.0)
+
+
+def test_fourth_power_law():
+    model = PathLossModel(exponent=4.0)
+    assert model.rss(1.0, 20.0) / model.rss(1.0, 40.0) == pytest.approx(16.0)
+
+
+def test_range_threshold_roundtrip():
+    model = PathLossModel()
+    threshold = model.threshold_for_range(1.0, 55.0)
+    assert model.range_for_threshold(1.0, threshold) == pytest.approx(55.0)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=1.0, max_value=1e3),
+)
+def test_property_roundtrip_any_power_and_range(power, rng):
+    model = PathLossModel()
+    threshold = model.threshold_for_range(power, rng)
+    assert model.range_for_threshold(power, threshold) == pytest.approx(rng, rel=1e-9)
+
+
+def test_invalid_inputs_rejected():
+    model = PathLossModel()
+    with pytest.raises(ValueError):
+        model.range_for_threshold(1.0, 0.0)
+    with pytest.raises(ValueError):
+        model.threshold_for_range(1.0, 0.0)
+
+
+def test_rss_to_db():
+    assert rss_to_db(1e-9, noise_floor=1e-9) == pytest.approx(0.0)
+    assert rss_to_db(1e-8, noise_floor=1e-9) == pytest.approx(10.0)
+    assert rss_to_db(0.0) == -math.inf
+
+
+def test_distance():
+    assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+    assert distance((1.0, 1.0), (1.0, 1.0)) == 0.0

@@ -1,0 +1,142 @@
+"""Property-based system invariants over randomized scenarios.
+
+hypothesis generates scenario shapes (seeds, loss rates, inflation amounts,
+transports); the invariants must hold for every one of them:
+
+* conservation: a sink never receives more packets than its source generated;
+* goodput never exceeds the PHY rate;
+* NAV values on the air never exceed the protocol maximum;
+* MAC counters are internally consistent.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+
+US = 1_000_000.0
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=1000),
+        "ber": st.sampled_from([0.0, 1e-5, 2e-4, 8e-4]),
+        "nav_us": st.sampled_from([0.0, 500.0, 5_000.0, 31_000.0]),
+        "rts": st.booleans(),
+        "gp": st.sampled_from([0.0, 50.0, 100.0]),
+    }
+)
+
+
+def build_and_run(params, duration=0.3):
+    s = Scenario(seed=params["seed"], rts_enabled=params["rts"])
+    s.add_wireless_node("NS")
+    s.add_wireless_node("GS")
+    s.add_wireless_node("NR")
+    greedy = None
+    if params["nav_us"] > 0:
+        greedy = GreedyConfig.nav_inflator(
+            params["nav_us"],
+            {FrameKind.CTS, FrameKind.ACK},
+            greedy_percentage=params["gp"],
+        )
+    s.add_wireless_node("GR", greedy=greedy)
+    if params["ber"] > 0:
+        from repro.phy.error import set_ber_all_pairs
+
+        set_ber_all_pairs(s.error_model, ["NS", "GS", "NR", "GR"], params["ber"])
+    f1, k1 = s.udp_flow("NS", "NR")
+    f2, k2 = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(duration)
+    return s, (f1, k1), (f2, k2), duration
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario_params)
+def test_conservation_and_capacity(params):
+    s, (f1, k1), (f2, k2), duration = build_and_run(params)
+    # Conservation: nothing is received that was not sent.
+    assert k1.packets_received <= f1.packets_generated
+    assert k2.packets_received <= f2.packets_generated
+    # Capacity: goodput cannot exceed the PHY data rate.
+    total = k1.goodput_mbps(duration * US) + k2.goodput_mbps(duration * US)
+    assert total <= s.phy.data_rate
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario_params)
+def test_mac_counter_consistency(params):
+    s, _flow1, _flow2, _duration = build_and_run(params)
+    for mac in s.macs.values():
+        stats = mac.stats
+        # Every delivered MSDU corresponds to at least one data transmission.
+        assert stats.msdu_sent <= stats.tx_data
+        # Retries and drops never exceed attempts.
+        assert stats.drops <= stats.retries
+        # CW samples stay within protocol bounds.
+        assert all(mac.cw_min <= cw <= mac.cw_max for cw in stats.cw_samples)
+        # Per-destination failures never exceed attempts.
+        for dst, attempts in stats.data_attempts_by_dst.items():
+            assert stats.ack_failures_by_dst[dst] <= attempts
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario_params)
+def test_nav_on_air_never_exceeds_protocol_max(params):
+    from repro.phy.params import MAX_NAV_US
+
+    s, _f1, _f2, _d = build_and_run(params, duration=0.15)
+    # Patch-free check: inspect every frame actually put on the air.
+    observed = []
+    original = s.medium.transmit
+
+    def spy(sender, frame, duration):
+        observed.append(frame.duration)
+        original(sender, frame, duration)
+
+    s.medium.transmit = spy
+    s.run(0.15)
+    assert observed, "no frames were transmitted"
+    assert all(0 <= d <= MAX_NAV_US for d in observed)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_determinism_same_seed_same_outcome(seed):
+    def run_once():
+        s = Scenario(seed=seed)
+        s.add_wireless_node("a")
+        s.add_wireless_node("b")
+        s.add_wireless_node("c")
+        s.add_wireless_node("d")
+        f1, k1 = s.udp_flow("a", "b")
+        f2, k2 = s.udp_flow("c", "d")
+        f1.start()
+        f2.start()
+        s.run(0.2)
+        return (k1.packets_received, k2.packets_received, s.sim.events_processed)
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.sampled_from([0.0, 2e-4, 1e-3]),
+)
+def test_tcp_receiver_never_overcounts(seed, ber):
+    s = Scenario(seed=seed)
+    s.add_wireless_node("a")
+    s.add_wireless_node("b")
+    if ber:
+        s.error_model.set_ber_symmetric("a", "b", ber)
+    snd, rcv = s.tcp_flow("a", "b")
+    snd.start()
+    s.run(0.5)
+    assert rcv.segments_received <= snd.segments_sent
+    assert rcv.rcv_next <= snd.snd_nxt
+    # Goodput bytes match counted segments exactly.
+    assert rcv.bytes_received == rcv.segments_received * snd.mss

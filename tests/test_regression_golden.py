@@ -1,0 +1,127 @@
+"""Golden-value regression tests.
+
+Fully deterministic scenarios (fixed seeds, named RNG streams) pinned to
+their current outputs with tight tolerances.  These are the tripwire for
+accidental behavior changes in the simulator core: a refactor that shifts
+any of these numbers by more than a few percent changed the physics, not
+just the code.  Update the constants deliberately when the model itself is
+meant to change.
+"""
+
+import pytest
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+from repro.phy.error import set_ber_all_pairs
+
+US = 1_000_000.0
+
+
+def test_golden_udp_fair_share():
+    s = Scenario(seed=1)
+    for name in ("NS", "GS", "NR", "GR"):
+        s.add_wireless_node(name)
+    f1, k1 = s.udp_flow("NS", "NR")
+    f2, k2 = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(2.0)
+    assert k1.goodput_mbps(2 * US) == pytest.approx(1.942, rel=0.02)
+    assert k2.goodput_mbps(2 * US) == pytest.approx(1.720, rel=0.02)
+
+
+def test_golden_udp_saturation_total():
+    """Aggregate saturation goodput of an 802.11b RTS/CTS cell: ~3.6 Mbps."""
+    s = Scenario(seed=1)
+    for name in ("NS", "GS", "NR", "GR"):
+        s.add_wireless_node(name)
+    f1, k1 = s.udp_flow("NS", "NR")
+    f2, k2 = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(2.0)
+    total = k1.goodput_mbps(2 * US) + k2.goodput_mbps(2 * US)
+    assert total == pytest.approx(3.66, rel=0.03)
+
+
+def test_golden_nav_inflation_starvation_point():
+    s = Scenario(seed=1)
+    s.add_wireless_node("NS")
+    s.add_wireless_node("GS")
+    s.add_wireless_node("NR")
+    s.add_wireless_node(
+        "GR", greedy=GreedyConfig.nav_inflator(600.0, {FrameKind.CTS})
+    )
+    f1, k1 = s.udp_flow("NS", "NR")
+    f2, k2 = s.udp_flow("GS", "GR")
+    f1.start()
+    f2.start()
+    s.run(2.0)
+    assert k1.goodput_mbps(2 * US) < 0.05
+    assert k2.goodput_mbps(2 * US) == pytest.approx(3.47, rel=0.02)
+
+
+def test_golden_tcp_lossless_throughput():
+    s = Scenario(seed=1)
+    s.add_wireless_node("a")
+    s.add_wireless_node("b")
+    snd, rcv = s.tcp_flow("a", "b")
+    snd.start()
+    s.run(2.0)
+    assert rcv.goodput_mbps(2 * US) == pytest.approx(2.22, rel=0.03)
+
+
+def test_golden_event_count_is_stable():
+    """Even the event count is deterministic for a fixed seed."""
+
+    def count():
+        s = Scenario(seed=9)
+        s.add_wireless_node("a")
+        s.add_wireless_node("b")
+        src, _ = s.udp_flow("a", "b")
+        src.start()
+        s.run(0.5)
+        return s.sim.events_processed
+
+    first = count()
+    assert first == count()
+    assert first > 3_000
+
+
+def test_golden_spoofing_operating_point():
+    """The Figure 11 peak: BER 2e-4, GP 100, standard geometry."""
+    s = Scenario(seed=2)
+    s.add_wireless_node("NS", position=(0, 0))
+    s.add_wireless_node("GS", position=(60, 60))
+    s.add_wireless_node("NR", position=(10, 0))
+    s.add_wireless_node(
+        "GR", position=(48, 20), greedy=GreedyConfig.ack_spoofer(victims={"NR"})
+    )
+    set_ber_all_pairs(s.error_model, ["NS", "GS", "NR", "GR"], 2e-4)
+    snd1, rcv1 = s.tcp_flow("NS", "NR")
+    snd2, rcv2 = s.tcp_flow("GS", "GR")
+    snd1.start()
+    snd2.start()
+    s.run(2.5)
+    assert rcv2.goodput_mbps(2.5 * US) > 3.0 * rcv1.goodput_mbps(2.5 * US)
+    assert s.macs["GR"].stats.tx_spoofed_ack == pytest.approx(88, abs=35)
+
+
+def test_golden_phy_airtimes():
+    """802.11b long-preamble airtimes, the base of every goodput number."""
+    from repro.phy.params import dot11b
+
+    phy = dot11b()
+    assert phy.rts_time == pytest.approx(352.0)
+    assert phy.cts_time == pytest.approx(304.0)
+    assert phy.ack_time == pytest.approx(304.0)
+    assert phy.data_time(1064) == pytest.approx(986.18, rel=1e-3)
+    assert phy.eifs == pytest.approx(364.0)
+
+
+def test_golden_fer_table():
+    from repro.phy.error import frame_error_rate
+
+    assert frame_error_rate(2e-4, 1092) == pytest.approx(0.2001, rel=1e-3)
+    assert frame_error_rate(2e-4, 14) == pytest.approx(7.572e-3, rel=1e-3)

@@ -1,0 +1,92 @@
+"""Unit tests for the RSSI measurement campaign model (Figs 21-22)."""
+
+import random
+
+import pytest
+
+from repro.testbed.rssi import RssiCampaign, RssiModelParams, roc_curve
+
+
+def make_campaign(n_nodes=6, packets=40, seed=4):
+    campaign = RssiCampaign(random.Random(seed), n_nodes=n_nodes)
+    campaign.run(packets_per_sender=packets)
+    return campaign
+
+
+def test_sample_counts():
+    campaign = make_campaign(n_nodes=5, packets=30)
+    # 5 senders x 4 receivers x 30 packets.
+    assert len(campaign.samples) == 5 * 4 * 30
+
+
+def test_minimum_node_count():
+    with pytest.raises(ValueError):
+        RssiCampaign(random.Random(0), n_nodes=1)
+
+
+def test_link_samples_grouping():
+    campaign = make_campaign(n_nodes=4, packets=10)
+    links = campaign.link_samples()
+    assert len(links) == 4 * 3
+    assert all(len(v) == 10 for v in links.values())
+
+
+def test_rssi_stability_property():
+    """The paper's Figure 21 finding: ~95 % of samples within ~1 dB."""
+    campaign = make_campaign(n_nodes=8, packets=100)
+    cdf = dict(campaign.deviation_cdf([1.0]))
+    assert cdf[1.0] > 0.85
+
+
+def test_deviation_cdf_monotone_and_bounded():
+    campaign = make_campaign()
+    cdf = campaign.deviation_cdf([0.1, 0.5, 1.0, 2.0, 10.0])
+    values = [p for _x, p in cdf]
+    assert values == sorted(values)
+    assert all(0.0 <= p <= 1.0 for p in values)
+    assert values[-1] > 0.99
+
+
+def test_cdf_requires_run():
+    campaign = RssiCampaign(random.Random(0), n_nodes=3)
+    with pytest.raises(RuntimeError):
+        campaign.deviation_cdf([1.0])
+
+
+def test_roc_tradeoff_shape():
+    campaign = make_campaign(n_nodes=8, packets=60)
+    rows = roc_curve(campaign, [0.0, 1.0, 3.0])
+    fps = [fp for _t, fp, _fn in rows]
+    fns = [fn for _t, _fp, fn in rows]
+    assert fps == sorted(fps, reverse=True)  # FP falls with threshold
+    assert fns == sorted(fns)  # FN rises with threshold
+    assert fps[0] == pytest.approx(1.0)  # threshold 0 flags everything
+
+
+def test_roc_at_1db_is_balanced():
+    campaign = make_campaign(n_nodes=10, packets=80)
+    ((_t, fp, fn),) = roc_curve(campaign, [1.0])
+    assert fp < 0.15
+    assert fn < 0.15
+
+
+def test_distinct_links_have_distinct_medians():
+    """Different transmitters look different to the same receiver — the
+    separability the spoof detector relies on."""
+    campaign = make_campaign(n_nodes=6, packets=50)
+    from statistics import median
+
+    links = campaign.link_samples()
+    medians = {link: median(v) for link, v in links.items()}
+    receiver = 0
+    senders = [m for (s, r), m in medians.items() if r == receiver]
+    spread = max(senders) - min(senders)
+    assert spread > 3.0  # well above the 1 dB detection threshold
+
+
+def test_custom_params_respected():
+    params = RssiModelParams(jitter_core_sigma_db=0.0, jitter_tail_prob=0.0)
+    campaign = RssiCampaign(random.Random(1), n_nodes=3, params=params)
+    campaign.run(packets_per_sender=10)
+    # No jitter: every deviation is exactly zero.
+    assert max(campaign.deviations_from_median()) == 0.0

@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_fifo_tie_break_at_equal_times():
+    sim = Simulator()
+    fired = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5.0, fired.append, tag)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42.0]
+    assert sim.now == 42.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0  # clock advanced to the bound
+    sim.run(until=200.0)
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10.0, fired.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+    assert not event.pending
+
+
+def test_cancel_none_is_noop():
+    sim = Simulator()
+    sim.cancel(None)  # must not raise
+
+
+def test_schedule_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(sim.now - 5.0, lambda: None)
+
+
+def test_schedule_rejects_nan_and_inf():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_at(math.nan, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(math.inf, lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def evil():
+        sim.run()
+
+    sim.schedule(1.0, evil)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_pending_events_counts_only_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.cancel(e1)
+    assert sim.pending_events == 1
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=50))
+def test_property_fire_order_is_sorted(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1e6), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancelled_never_fire(specs):
+    sim = Simulator()
+    fired = []
+    events = []
+    for delay, cancel in specs:
+        events.append((sim.schedule(delay, fired.append, delay), cancel))
+    for event, cancel in events:
+        if cancel:
+            sim.cancel(event)
+    sim.run()
+    expected = sorted(d for (d, c) in specs if not c)
+    assert sorted(fired) == expected

@@ -1,0 +1,175 @@
+"""Deterministic TCP Reno mechanics, driven without a network.
+
+A fake node captures outgoing segments; the test plays the network role and
+feeds ACKs back, pinning down the congestion-control state machine exactly:
+slow start, dup-ACK fast retransmit, recovery inflation/deflation, RTO
+backoff, and Karn's sampling rule.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.transport.packets import Packet, PacketKind
+from repro.transport.tcp import TcpSender
+
+
+class FakeNode:
+    """Stands in for a Node: records every packet the sender emits."""
+
+    def __init__(self, name="snd"):
+        self.name = name
+        self.sent: list[Packet] = []
+        self._agents = {}
+
+    def bind_agent(self, flow_id, agent):
+        self._agents[flow_id] = agent
+
+    def send_packet(self, packet):
+        self.sent.append(packet)
+
+
+def make_sender(**kwargs):
+    sim = Simulator()
+    node = FakeNode()
+    sender = TcpSender(sim, node, "flow", "rcv", **kwargs)
+    return sim, node, sender
+
+
+def ack(sender, ackno):
+    packet = Packet(PacketKind.TCP_ACK, "flow", "rcv", "snd", ack=ackno)
+    sender.receive(packet)
+
+
+def test_starts_with_one_segment():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    assert [p.seq for p in node.sent] == [0]
+    assert sender.cwnd == 1.0
+
+
+def test_slow_start_doubles_per_rtt():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    ack(sender, 1)  # cwnd 1 -> 2, sends 2
+    assert sender.cwnd == 2.0
+    assert [p.seq for p in node.sent] == [0, 1, 2]
+    ack(sender, 2)
+    ack(sender, 3)  # cwnd -> 4
+    assert sender.cwnd == 4.0
+
+
+def test_congestion_avoidance_above_ssthresh():
+    sim, node, sender = make_sender()
+    sender.ssthresh = 2.0
+    sender.cwnd = 2.0
+    sender.snd_una = 0
+    sender.snd_nxt = 2
+    ack(sender, 1)
+    # Above ssthresh: cwnd += 1/cwnd.
+    assert sender.cwnd == pytest.approx(2.5)
+
+
+def test_three_dup_acks_trigger_fast_retransmit():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    for ackno in (1, 2, 3, 4):
+        ack(sender, ackno)
+    node.sent.clear()
+    # Three duplicate ACKs for seq 4.
+    ack(sender, 4)
+    ack(sender, 4)
+    assert sender.fast_retransmits == 0
+    ack(sender, 4)
+    assert sender.fast_retransmits == 1
+    assert node.sent[0].seq == 4  # the hole is retransmitted first
+    assert sender._recover >= 0  # in fast recovery
+    # ssthresh = flight/2, cwnd = ssthresh + 3.
+    assert sender.cwnd == pytest.approx(sender.ssthresh + 3.0)
+
+
+def test_recovery_inflates_on_further_dups_and_deflates_on_new_ack():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    for ackno in (1, 2, 3, 4):
+        ack(sender, ackno)
+    for _ in range(3):
+        ack(sender, 4)
+    cwnd_in_recovery = sender.cwnd
+    ack(sender, 4)  # 4th dup: inflate by 1
+    assert sender.cwnd == pytest.approx(cwnd_in_recovery + 1.0)
+    ack(sender, sender.snd_nxt)  # recovery complete
+    assert sender._recover == -1
+    assert sender.cwnd == pytest.approx(sender.ssthresh)
+
+
+def test_rto_collapses_window_and_doubles_backoff():
+    sim, node, sender = make_sender(initial_rto_us=1000.0, min_rto_us=1000.0)
+    sender.start()
+    sim.run(until=1.0)  # seg 0 out, RTO armed
+    sim.run(until=1500.0)  # RTO fires
+    assert sender.timeouts == 1
+    assert sender.cwnd == 1.0
+    assert sender._backoff == 2
+    assert node.sent[-1].seq == 0  # retransmission of the hole
+    sim.run(until=1500.0 + 2100.0)  # second RTO after doubled interval
+    assert sender.timeouts == 2
+    assert sender._backoff == 4
+
+
+def test_new_ack_resets_rto_backoff():
+    sim, node, sender = make_sender(initial_rto_us=1000.0, min_rto_us=1000.0)
+    sender.start()
+    sim.run(until=1500.0)
+    assert sender._backoff == 2
+    ack(sender, 1)
+    assert sender._backoff == 1
+
+
+def test_karn_ignores_retransmitted_segments_for_rtt():
+    sim, node, sender = make_sender(initial_rto_us=1000.0, min_rto_us=100.0)
+    sender.start()
+    sim.run(until=1500.0)  # seg 0 timed, then retransmitted on RTO
+    assert 0 in sender._retransmitted
+    ack(sender, 1)  # ambiguous ACK: no RTT sample may be taken
+    assert sender._srtt is None
+
+
+def test_rtt_sampling_from_clean_segment():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    sim.schedule(5000.0, lambda: ack(sender, 1))
+    sim.run(until=6000.0)
+    assert sender._srtt == pytest.approx(4999.0, rel=0.01)
+
+
+def test_window_cap_limits_inflight():
+    sim, node, sender = make_sender(window=4)
+    sender.cwnd = 100.0
+    sender.start()
+    sim.run(until=1.0)
+    assert len(node.sent) == 4  # capped by the advertised window
+
+
+def test_old_ack_is_ignored():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    for ackno in (1, 2, 3):
+        ack(sender, ackno)
+    before = (sender.cwnd, sender.snd_una, sender._dupacks)
+    ack(sender, 1)  # stale ACK below snd_una
+    assert (sender.cwnd, sender.snd_una, sender._dupacks) == before
+
+
+def test_non_ack_packets_ignored():
+    sim, node, sender = make_sender()
+    sender.start()
+    sim.run(until=1.0)
+    before = sender.snd_una
+    sender.receive(Packet(PacketKind.TCP_DATA, "flow", "rcv", "snd", seq=0))
+    assert sender.snd_una == before
