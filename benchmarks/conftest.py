@@ -9,17 +9,29 @@ by ``benchmarks/run_all.py``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import get
+from repro.runtime import execution
 from repro.stats import ExperimentResult
 
 
 def run_experiment(benchmark, experiment_id: str) -> ExperimentResult:
-    """Run one experiment (quick mode) exactly once under the benchmark."""
-    return benchmark.pedantic(
-        lambda: get(experiment_id)(quick=True), rounds=1, iterations=1
-    )
+    """Run one experiment (quick mode) exactly once under the benchmark.
+
+    Set ``REPRO_JOBS=N`` to fan each experiment's seeded repetitions out over
+    N worker processes; results are bit-identical to the serial run (see
+    tests/test_parallel_engine.py), only the timings change.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+
+    def once() -> ExperimentResult:
+        with execution(jobs=jobs):
+            return get(experiment_id)(quick=True)
+
+    return benchmark.pedantic(once, rounds=1, iterations=1)
 
 
 def rows_by(result: ExperimentResult, *keys: str) -> dict[tuple, dict]:

@@ -4,6 +4,7 @@
 
     python -m repro list                      # every reproducible artifact
     python -m repro run fig1 --quick          # regenerate one table/figure
+    python -m repro run fig1 --jobs 4         # seeded repetitions in parallel
     python -m repro demo nav --grc            # misbehavior demo + sparkline
 
 The demos build a small hotspot, run the chosen misbehavior, and print
@@ -33,12 +34,22 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runtime import ResultCache, execution
+
     try:
         run = get(args.experiment)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    result = run(quick=args.quick)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    with execution(jobs=args.jobs, cache=cache):
+        result = run(quick=args.quick)
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache: {stats['hits']} hits, {stats['misses']} misses",
+            file=sys.stderr,
+        )
     text = result.to_text()
     if args.output:
         with open(args.output, "w") as f:
@@ -141,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", help="e.g. fig4, table2, ext_autorate")
     p_run.add_argument("--quick", action="store_true", help="reduced sweep")
     p_run.add_argument("-o", "--output", help="write the table to a file")
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan seeded repetitions out over N worker processes",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        help="reuse/store per-seed results under this directory "
+        "(e.g. results/.cache)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_demo = sub.add_parser("demo", help="run a misbehavior demo")

@@ -16,6 +16,20 @@ from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.phy.error import set_ber_all_pairs
 from repro.phy.params import PhyParams, dot11b
+from repro.runtime import seed_job
+
+__all__ = [
+    "RunSettings",
+    "seed_job",
+    "run_nav_pairs",
+    "run_nav_shared_sender",
+    "run_spoof_tcp_pairs",
+    "run_spoof_udp_shared_ap",
+    "run_remote_tcp",
+    "run_fake_hidden_terminals",
+    "run_fake_inherent_loss",
+    "run_grc_nav_distance",
+]
 
 US_PER_S = 1_000_000.0
 

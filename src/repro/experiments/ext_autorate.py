@@ -16,7 +16,7 @@ and 2 Mbps clean (the regime where rate adaptation matters).
 from __future__ import annotations
 
 from repro.core.greedy import GreedyConfig
-from repro.experiments.common import RunSettings, US_PER_S
+from repro.experiments.common import RunSettings, US_PER_S, seed_job
 from repro.net.scenario import Scenario
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -125,7 +125,12 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for case, greedy, autorate in fake_cases:
         med = median_over_seeds(
-            lambda seed: run_fake_ack_autorate(seed, duration, greedy, autorate),
+            seed_job(
+                run_fake_ack_autorate,
+                duration_s=duration,
+                greedy=greedy,
+                autorate=autorate,
+            ),
             settings.seeds,
         )
         result.add_row(
@@ -143,7 +148,12 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for case, spoof, autorate in spoof_cases:
         med = median_over_seeds(
-            lambda seed: run_spoof_autorate(seed, duration, spoof, autorate),
+            seed_job(
+                run_spoof_autorate,
+                duration_s=duration,
+                spoof=spoof,
+                autorate=autorate,
+            ),
             settings.seeds,
         )
         result.add_row(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.baseline import SelfishSenderConfig, make_selfish
 from repro.core.greedy import GreedyConfig
-from repro.experiments.common import RunSettings, US_PER_S
+from repro.experiments.common import RunSettings, US_PER_S, seed_job
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.stats import ExperimentResult, median_over_seeds
@@ -60,7 +60,7 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for attack in ("none", "selfish-sender", "greedy-receiver"):
         med = median_over_seeds(
-            lambda seed: run_case(seed, settings.duration_s, attack),
+            seed_job(run_case, duration_s=settings.duration_s, attack=attack),
             settings.seeds,
         )
         result.add_row(attack=attack, **med)

@@ -10,7 +10,7 @@ Three sub-experiments: (a) TCP with 2 receivers, (b) TCP with 8 receivers,
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_shared_sender
+from repro.experiments.common import RunSettings, run_nav_shared_sender, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -45,9 +45,9 @@ def run(quick: bool = False) -> ExperimentResult:
         )
         for nav_ms in nav_values:
             med = median_over_seeds(
-                lambda seed: run_nav_shared_sender(
-                    seed,
-                    duration_s,
+                seed_job(
+                    run_nav_shared_sender,
+                    duration_s=duration_s,
                     transport=transport,
                     nav_inflation_us=nav_ms * 1000.0,
                     inflate_frames=(FrameKind.CTS,),

@@ -8,7 +8,7 @@ few frames and suffers on its own link as well.  Both 802.11b and 802.11a.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs
+from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
 from repro.phy.params import dot11a
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -34,9 +34,9 @@ def run(quick: bool = False) -> ExperimentResult:
         for ber in bers:
             for case, gp in (("no GR", 0.0), ("w R2 GR", 100.0)):
                 med = median_over_seeds(
-                    lambda seed: run_spoof_tcp_pairs(
-                        seed,
-                        settings.duration_s,
+                    seed_job(
+                        run_spoof_tcp_pairs,
+                        duration_s=settings.duration_s,
                         ber=ber,
                         phy=phy,
                         spoof_percentage=gp,

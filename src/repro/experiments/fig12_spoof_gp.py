@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs
+from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_GP = (0.0, 20.0, 40.0, 60.0, 80.0, 100.0)
@@ -27,9 +27,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for ber in bers:
         for gp in gps:
             med = median_over_seeds(
-                lambda seed: run_spoof_tcp_pairs(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_spoof_tcp_pairs,
+                    duration_s=settings.duration_s,
                     ber=ber,
                     spoof_percentage=gp,
                 ),

@@ -7,7 +7,7 @@ drops below the honest baseline.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs
+from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 BER = 2e-4
@@ -30,9 +30,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for gp in gps:
         for n_greedy in (0, 1, 2):
             med = median_over_seeds(
-                lambda seed: run_spoof_tcp_pairs(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_spoof_tcp_pairs,
+                    duration_s=settings.duration_s,
                     ber=BER,
                     spoof_percentage=gp if n_greedy else 0.0,
                     n_greedy=max(n_greedy, 1),

@@ -6,7 +6,7 @@ Head-of-line blocking at a shared AP shrinks the spoofer's edge.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs
+from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 BER = 2e-4
@@ -30,9 +30,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for topology, shared in (("one AP", True), ("per-flow APs", False)):
         for n_pairs in pair_counts:
             med = median_over_seeds(
-                lambda seed: run_spoof_tcp_pairs(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_spoof_tcp_pairs,
+                    duration_s=settings.duration_s,
                     ber=BER,
                     n_pairs=n_pairs,
                     shared_ap=shared,

@@ -8,7 +8,7 @@ victim's loss buys it.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_remote_tcp
+from repro.experiments.common import RunSettings, run_remote_tcp, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_DELAYS_MS = (2, 10, 50, 100, 200, 400)
@@ -34,9 +34,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for delay_ms in delays:
         for case, gp in (("no GR", 0.0), ("w R2 GR", 100.0)):
             med = median_over_seeds(
-                lambda seed: run_remote_tcp(
-                    seed,
-                    duration_s,
+                seed_job(
+                    run_remote_tcp,
+                    duration_s=duration_s,
                     wired_delay_us=delay_ms * 1000.0,
                     ber=BER,
                     spoof_percentage=gp,

@@ -6,7 +6,7 @@ frames already buys the greedy receiver a large relative gain.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_remote_tcp
+from repro.experiments.common import RunSettings, run_remote_tcp, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_GP = (0.0, 20.0, 40.0, 60.0, 80.0, 100.0)
@@ -33,9 +33,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for delay_ms in delays:
         for gp in gps:
             med = median_over_seeds(
-                lambda seed: run_remote_tcp(
-                    seed,
-                    duration_s,
+                seed_job(
+                    run_remote_tcp,
+                    duration_s=duration_s,
                     wired_delay_us=delay_ms * 1000.0,
                     ber=BER,
                     spoof_percentage=gp,

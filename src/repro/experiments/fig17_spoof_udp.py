@@ -7,7 +7,7 @@ under TCP because no congestion control amplifies the losses.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_udp_shared_ap
+from repro.experiments.common import RunSettings, run_spoof_udp_shared_ap, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_BERS = (0.0, 1e-4, 2e-4, 4.4e-4, 8e-4, 14e-4)
@@ -29,9 +29,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for ber in bers:
         for case, greedy in (("no GR", False), ("w R2 GR", True)):
             med = median_over_seeds(
-                lambda seed: run_spoof_udp_shared_ap(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_spoof_udp_shared_ap,
+                    duration_s=settings.duration_s,
                     ber=ber,
                     greedy=greedy,
                 ),

@@ -9,7 +9,7 @@ everyone collides more.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_hidden_terminals
+from repro.experiments.common import RunSettings, run_fake_hidden_terminals, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_GP = (0.0, 25.0, 50.0, 75.0, 100.0)
@@ -32,9 +32,9 @@ def run(quick: bool = False) -> ExperimentResult:
         for gp in gps:
             gp_r1 = gp if case == "both greedy" else 0.0
             med = median_over_seeds(
-                lambda seed: run_fake_hidden_terminals(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_fake_hidden_terminals,
+                    duration_s=settings.duration_s,
                     fake_percentages=(gp_r1, gp),
                 ),
                 settings.seeds,

@@ -7,7 +7,7 @@ loss rate (more corrupted frames means more fake-ACK opportunities).
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_inherent_loss
+from repro.experiments.common import RunSettings, run_fake_inherent_loss, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_PAIRS = (2, 4, 6, 8)
@@ -34,9 +34,9 @@ def run(quick: bool = False) -> ExperimentResult:
         for n_pairs in pair_counts:
             flags = [False] * (n_pairs - 1) + [True]
             med = median_over_seeds(
-                lambda seed: run_fake_inherent_loss(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_fake_inherent_loss,
+                    duration_s=settings.duration_s,
                     data_fer=0.0,
                     greedy_flags=flags,
                     ber=ber,

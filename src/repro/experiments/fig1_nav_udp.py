@@ -6,7 +6,7 @@ lets the greedy receiver's flow starve the competing flow completely.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs
+from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -28,9 +28,9 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for alpha in alphas:
         med = median_over_seeds(
-            lambda seed: run_nav_pairs(
-                seed,
-                settings.duration_s,
+            seed_job(
+                run_nav_pairs,
+                duration_s=settings.duration_s,
                 transport="udp",
                 nav_inflation_us=alpha * 100.0,
                 inflate_frames=(FrameKind.CTS,),

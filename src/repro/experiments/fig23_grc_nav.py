@@ -9,7 +9,7 @@ receiver a bounded residual edge; out of range the inflation never mattered.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_grc_nav_distance
+from repro.experiments.common import RunSettings, run_grc_nav_distance, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_DISTANCES = (10, 20, 30, 40, 45, 50, 55, 60, 70, 90, 110)
@@ -47,9 +47,9 @@ def run(quick: bool = False) -> ExperimentResult:
         for case, nav_us, grc in cases:
             for d in distances:
                 med = median_over_seeds(
-                    lambda seed: run_grc_nav_distance(
-                        seed,
-                        settings.duration_s,
+                    seed_job(
+                        run_grc_nav_distance,
+                        duration_s=settings.duration_s,
                         pair_distance_m=float(d),
                         transport=transport,
                         grc=grc,

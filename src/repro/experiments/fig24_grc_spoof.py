@@ -6,7 +6,7 @@ retransmits), both flows track the no-greedy-receiver goodput curves.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs
+from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_BERS = (0.0, 1e-4, 2e-4, 4.4e-4, 8e-4, 14e-4)
@@ -33,9 +33,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for ber in bers:
         for case, gp, grc in cases:
             med = median_over_seeds(
-                lambda seed: run_spoof_tcp_pairs(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_spoof_tcp_pairs,
+                    duration_s=settings.duration_s,
                     ber=ber,
                     spoof_percentage=gp,
                     grc=grc,

@@ -9,7 +9,7 @@ beyond 28 slots).
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs
+from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -33,9 +33,9 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for v in slots:
         med = median_over_seeds(
-            lambda seed: run_nav_pairs(
-                seed,
-                settings.duration_s,
+            seed_job(
+                run_nav_pairs,
+                duration_s=settings.duration_s,
                 transport="udp",
                 nav_inflation_us=v * SLOT_US,
                 inflate_frames=(FrameKind.CTS, FrameKind.ACK),

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.experiments.common import RunSettings, run_nav_pairs
+from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.phy.params import PhyParams
 from repro.stats import ExperimentResult, median_over_seeds
@@ -42,9 +42,9 @@ def sweep(
     for variant, frames in VARIANTS.items():
         for nav_ms in nav_values:
             med = median_over_seeds(
-                lambda seed: run_nav_pairs(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_nav_pairs,
+                    duration_s=settings.duration_s,
                     transport="tcp",
                     phy=phy,
                     nav_inflation_us=nav_ms * 1000.0,

@@ -7,7 +7,7 @@ is already ~2 Mbps.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs
+from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -32,9 +32,9 @@ def run(quick: bool = False) -> ExperimentResult:
     for nav_ms in nav_values:
         for gp in gps:
             med = median_over_seeds(
-                lambda seed: run_nav_pairs(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_nav_pairs,
+                    duration_s=settings.duration_s,
                     transport="tcp",
                     nav_inflation_us=nav_ms * 1000.0,
                     inflate_frames=(FrameKind.CTS,),

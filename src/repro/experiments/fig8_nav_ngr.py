@@ -6,11 +6,33 @@ the other and keep re-grabbing it.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs
+from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
 NAV_MS = (5.0, 10.0, 31.0)
+
+
+def seed_run(
+    seed: int, duration_s: float, nav_ms: float, n_greedy: int
+) -> dict[str, float]:
+    """One seeded point, sorted per-seed so the winner stays visible
+    (module-level so the parallel engine can address it)."""
+    out = run_nav_pairs(
+        seed,
+        duration_s,
+        transport="tcp",
+        nav_inflation_us=nav_ms * 1000.0 if n_greedy else 0.0,
+        inflate_frames=(FrameKind.CTS,),
+        n_greedy=max(n_greedy, 1),
+    )
+    hi, lo = sorted((out["goodput_R0"], out["goodput_R1"]), reverse=True)
+    return {
+        "goodput_R0": out["goodput_R0"],
+        "goodput_R1": out["goodput_R1"],
+        "goodput_hi": hi,
+        "goodput_lo": lo,
+    }
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -36,27 +58,16 @@ def run(quick: bool = False) -> ExperimentResult:
         ],
     )
 
-    def runner(seed: int, nav_ms: float, n_greedy: int) -> dict[str, float]:
-        out = run_nav_pairs(
-            seed,
-            settings.duration_s,
-            transport="tcp",
-            nav_inflation_us=nav_ms * 1000.0 if n_greedy else 0.0,
-            inflate_frames=(FrameKind.CTS,),
-            n_greedy=max(n_greedy, 1),
-        )
-        hi, lo = sorted((out["goodput_R0"], out["goodput_R1"]), reverse=True)
-        return {
-            "goodput_R0": out["goodput_R0"],
-            "goodput_R1": out["goodput_R1"],
-            "goodput_hi": hi,
-            "goodput_lo": lo,
-        }
-
     for nav_ms in nav_values:
         for n_greedy in (0, 1, 2):
             med = median_over_seeds(
-                lambda seed: runner(seed, nav_ms, n_greedy), settings.seeds
+                seed_job(
+                    seed_run,
+                    duration_s=settings.duration_s,
+                    nav_ms=nav_ms,
+                    n_greedy=n_greedy,
+                ),
+                settings.seeds,
             )
             result.add_row(nav_inflation_ms=nav_ms, n_greedy=n_greedy, **med)
     return result

@@ -7,7 +7,7 @@ finding: with more than one greedy receiver, only one of them survives —
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs
+from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -15,6 +15,22 @@ N_PAIRS = 8
 FULL_N_GREEDY = (0, 1, 2, 4, 8)
 QUICK_N_GREEDY = (1, 4)
 NAV_US = 31_000.0
+
+
+def seed_run(seed: int, duration_s: float, n_greedy: int) -> dict[str, float]:
+    """One seeded point, ranked per-seed so the single survivor stays
+    visible (module-level so the parallel engine can address it)."""
+    out = run_nav_pairs(
+        seed,
+        duration_s,
+        transport="tcp",
+        nav_inflation_us=NAV_US if n_greedy else 0.0,
+        inflate_frames=(FrameKind.CTS,),
+        n_pairs=N_PAIRS,
+        n_greedy=max(n_greedy, 1),
+    )
+    ranked = sorted((out[f"goodput_R{i}"] for i in range(N_PAIRS)), reverse=True)
+    return {f"rank{i}": ranked[i] for i in range(N_PAIRS)}
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -34,22 +50,10 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=columns,
     )
 
-    def runner(seed: int, n_greedy: int) -> dict[str, float]:
-        out = run_nav_pairs(
-            seed,
-            settings.duration_s,
-            transport="tcp",
-            nav_inflation_us=NAV_US if n_greedy else 0.0,
-            inflate_frames=(FrameKind.CTS,),
-            n_pairs=N_PAIRS,
-            n_greedy=max(n_greedy, 1),
-        )
-        ranked = sorted(
-            (out[f"goodput_R{i}"] for i in range(N_PAIRS)), reverse=True
-        )
-        return {f"rank{i}": ranked[i] for i in range(N_PAIRS)}
-
     for n_greedy in counts:
-        med = median_over_seeds(lambda seed: runner(seed, n_greedy), settings.seeds)
+        med = median_over_seeds(
+            seed_job(seed_run, duration_s=settings.duration_s, n_greedy=n_greedy),
+            settings.seeds,
+        )
         result.add_row(n_greedy=n_greedy, **med)
     return result

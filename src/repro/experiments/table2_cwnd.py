@@ -11,6 +11,7 @@ from repro.experiments.common import (
     RunSettings,
     run_nav_pairs,
     run_nav_shared_sender,
+    seed_job,
 )
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
@@ -33,9 +34,9 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for nav_ms in nav_values:
         shared = median_over_seeds(
-            lambda seed: run_nav_shared_sender(
-                seed,
-                settings.duration_s,
+            seed_job(
+                run_nav_shared_sender,
+                duration_s=settings.duration_s,
                 transport="tcp",
                 nav_inflation_us=nav_ms * 1000.0,
                 inflate_frames=(FrameKind.CTS,),
@@ -44,9 +45,9 @@ def run(quick: bool = False) -> ExperimentResult:
             settings.seeds,
         )
         separate = median_over_seeds(
-            lambda seed: run_nav_pairs(
-                seed,
-                settings.duration_s,
+            seed_job(
+                run_nav_pairs,
+                duration_s=settings.duration_s,
                 transport="tcp",
                 nav_inflation_us=nav_ms * 1000.0,
                 inflate_frames=(FrameKind.CTS,),

@@ -7,7 +7,7 @@ CW_min while the honest sender's explodes; with two fakers both stay low.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_hidden_terminals
+from repro.experiments.common import RunSettings, run_fake_hidden_terminals, seed_job
 from repro.phy.params import dot11a
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -31,9 +31,9 @@ def run(quick: bool = False) -> ExperimentResult:
             ("2 GRs", (100.0, 100.0)),
         ):
             med = median_over_seeds(
-                lambda seed: run_fake_hidden_terminals(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_fake_hidden_terminals,
+                    duration_s=settings.duration_s,
                     fake_percentages=gps,
                     phy=phy,
                 ),

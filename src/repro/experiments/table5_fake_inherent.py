@@ -8,7 +8,7 @@ at its victim's expense, and for two greedy receivers modestly for both
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_inherent_loss
+from repro.experiments.common import RunSettings, run_fake_inherent_loss, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_FERS = (0.2, 0.5, 0.8)
@@ -34,9 +34,9 @@ def run(quick: bool = False) -> ExperimentResult:
             ("2 GRs", (True, True)),
         ):
             med = median_over_seeds(
-                lambda seed: run_fake_inherent_loss(
-                    seed,
-                    settings.duration_s,
+                seed_job(
+                    run_fake_inherent_loss,
+                    duration_s=settings.duration_s,
                     data_fer=fer,
                     greedy_flags=flags,
                 ),

@@ -7,7 +7,7 @@ protocol maximum.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings
+from repro.experiments.common import RunSettings, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 from repro.testbed.emulation import table6_nav_rts_tcp
 
@@ -25,8 +25,8 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for case, greedy in (("no GR", False), ("1 GR", True)):
         med = median_over_seeds(
-            lambda seed: table6_nav_rts_tcp(
-                seed=seed, greedy=greedy, duration_s=settings.duration_s
+            seed_job(
+                table6_nav_rts_tcp, greedy=greedy, duration_s=settings.duration_s
             ),
             settings.seeds,
         )

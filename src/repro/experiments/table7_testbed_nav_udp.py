@@ -6,7 +6,7 @@ with RTS/CTS, and both.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings
+from repro.experiments.common import RunSettings, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 from repro.testbed.emulation import table7_nav_udp
 
@@ -31,8 +31,8 @@ def run(quick: bool = False) -> ExperimentResult:
     for label, variant in VARIANTS:
         for case, greedy in (("no GR", False), ("1 GR", True)):
             med = median_over_seeds(
-                lambda seed: table7_nav_udp(
-                    seed=seed,
+                seed_job(
+                    table7_nav_udp,
                     variant=variant,
                     greedy=greedy,
                     duration_s=settings.duration_s,

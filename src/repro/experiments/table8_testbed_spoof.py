@@ -6,7 +6,7 @@ victim are disabled (what a perfectly successful spoofer achieves).
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings
+from repro.experiments.common import RunSettings, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 from repro.testbed.emulation import table8_spoof_emulation_tcp
 
@@ -25,8 +25,8 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for case, greedy in (("no GR", False), ("1 GR", True)):
         med = median_over_seeds(
-            lambda seed: table8_spoof_emulation_tcp(
-                seed=seed, greedy=greedy, duration_s=settings.duration_s
+            seed_job(
+                table8_spoof_emulation_tcp, greedy=greedy, duration_s=settings.duration_s
             ),
             settings.seeds,
         )

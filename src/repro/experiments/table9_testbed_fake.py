@@ -6,7 +6,7 @@ CW_max clamped to CW_min, so losses never escalate its backoff.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings
+from repro.experiments.common import RunSettings, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 from repro.testbed.emulation import table9_fake_ack_emulation_udp
 
@@ -25,8 +25,8 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for case, greedy in (("no GR", False), ("1 GR", True)):
         med = median_over_seeds(
-            lambda seed: table9_fake_ack_emulation_udp(
-                seed=seed, greedy=greedy, duration_s=settings.duration_s
+            seed_job(
+                table9_fake_ack_emulation_udp, greedy=greedy, duration_s=settings.duration_s
             ),
             settings.seeds,
         )

@@ -1,0 +1,32 @@
+"""Parallel experiment engine: job specs, result cache, process-pool fan-out.
+
+See DESIGN.md ("Parallel experiment engine") for the cache key scheme and
+the determinism argument; tests/test_parallel_engine.py enforces that
+parallel and serial execution are bit-identical.
+"""
+
+from repro.runtime.cache import DEFAULT_CACHE_DIRNAME, ResultCache, code_version_token
+from repro.runtime.jobspec import JobSpec, canonical, resolve_runner, runner_path, seed_job
+from repro.runtime.pool import (
+    ExecutionContext,
+    current_context,
+    execute_job,
+    execution,
+    map_over_seeds,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIRNAME",
+    "ExecutionContext",
+    "JobSpec",
+    "ResultCache",
+    "canonical",
+    "code_version_token",
+    "current_context",
+    "execute_job",
+    "execution",
+    "map_over_seeds",
+    "resolve_runner",
+    "runner_path",
+    "seed_job",
+]

@@ -1,0 +1,113 @@
+"""On-disk result cache for seeded simulation points.
+
+Entries live under ``results/.cache/`` (one JSON file per point) and are
+keyed by a digest of (runner path, canonical kwargs, seed, code-version
+token), so a repeated ``benchmarks/run_all.py`` invocation skips every
+already-computed point while any code change invalidates the whole cache at
+once.  Corrupted or unreadable entries are treated as misses (with a
+warning) and recomputed — the cache can never poison results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from functools import lru_cache
+from pathlib import Path
+
+from repro.runtime.jobspec import JobSpec
+
+#: Default cache location, relative to the repository's results directory.
+DEFAULT_CACHE_DIRNAME = ".cache"
+
+
+@lru_cache(maxsize=1)
+def code_version_token() -> str:
+    """Digest of every ``repro`` source file: the cache's version fence.
+
+    Any edit anywhere in the package changes the token, so stale results can
+    never be served after a code change.  Coarse but safe — and cheap enough
+    to compute once per process.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Filesystem cache of ``{metric: value}`` dicts, one file per JobSpec."""
+
+    def __init__(self, root: str | Path, version: str | None = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else code_version_token()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def path_for(self, spec: JobSpec) -> Path:
+        return self.root / f"{spec.cache_key(self.version)}.json"
+
+    def get(self, spec: JobSpec) -> dict[str, float] | None:
+        """Cached result for ``spec``, or None (corruption counts as a miss)."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            result = payload["result"]
+            if not isinstance(result, dict):
+                raise ValueError("cache entry result is not a dict")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+            self.errors += 1
+            self.misses += 1
+            warnings.warn(
+                f"ignoring corrupted cache entry {path.name}: {exc}; recomputing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        self.hits += 1
+        return dict(result)
+
+    def put(self, spec: JobSpec, result: dict[str, float]) -> None:
+        """Store a result atomically (temp file + rename)."""
+        path = self.path_for(spec)
+        payload = {
+            "runner": spec.runner,
+            "seed": spec.seed,
+            "version": self.version,
+            "result": dict(result),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }

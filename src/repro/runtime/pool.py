@@ -1,0 +1,130 @@
+"""Process-pool fan-out over seeds, with caching and an ambient context.
+
+The paper's methodology (median of 5 seeded runs per point) is embarrassingly
+parallel; :func:`map_over_seeds` is the single place that parallelism lives.
+Determinism is preserved by construction:
+
+* every seed's simulation builds its own ``Scenario(seed=...)`` with a
+  private RNG — no state is shared across seeds in either mode;
+* results are keyed by seed, never by completion order;
+* workers receive a pickle-safe :class:`~repro.runtime.jobspec.JobSpec`
+  (module path + kwargs), so the exact same function runs with the exact
+  same arguments whether in-process or in a pool worker.
+
+Experiments themselves stay oblivious: they build JobSpecs and the ambient
+:class:`ExecutionContext` (installed by the CLI's ``--jobs`` flag or
+``benchmarks/run_all.py``) decides whether those fan out.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobspec import JobSpec
+
+
+@dataclass
+class ExecutionContext:
+    """Ambient execution policy: worker count and optional result cache."""
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+
+
+_context = ExecutionContext()
+
+
+def current_context() -> ExecutionContext:
+    return _context
+
+
+@contextmanager
+def execution(jobs: int = 1, cache: ResultCache | None = None) -> Iterator[ExecutionContext]:
+    """Install an :class:`ExecutionContext` for the duration of a block."""
+    global _context
+    previous = _context
+    _context = ExecutionContext(jobs=max(1, int(jobs)), cache=cache)
+    try:
+        yield _context
+    finally:
+        _context = previous
+
+
+def execute_job(spec: JobSpec) -> dict[str, float]:
+    """Worker entry point: run one seeded job (module-level, picklable)."""
+    return spec.run()
+
+
+def _collect(futures: dict[Future, int], results: dict[int, dict[str, float]]) -> None:
+    """Drain futures as they complete, keying results by seed."""
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            results[futures[future]] = dict(future.result())
+
+
+def map_over_seeds(
+    run: JobSpec | Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    executor: Any | None = None,
+) -> dict[int, dict[str, float]]:
+    """Run one seeded job per seed; return ``{seed: metrics}`` in seed order.
+
+    ``run`` is either a :class:`JobSpec` (parallel- and cache-capable) or a
+    plain callable (runs serially in-process — closures cannot cross a
+    process boundary).  ``jobs``/``cache`` default to the ambient
+    :func:`execution` context; ``executor`` injects a ready-made
+    ``submit()``-style executor (owned by the caller) instead of an internal
+    process pool — with a process executor the caller must pass a JobSpec.
+    """
+    seed_list = [int(seed) for seed in seeds]
+    if not seed_list:
+        raise ValueError("need at least one seed")
+    if len(set(seed_list)) != len(seed_list):
+        raise ValueError(f"duplicate seeds: {seed_list}")
+
+    context = current_context()
+    if jobs is None:
+        jobs = context.jobs
+    if cache is None:
+        cache = context.cache
+
+    results: dict[int, dict[str, float]] = {}
+    if isinstance(run, JobSpec):
+        specs = {seed: run.with_seed(seed) for seed in seed_list}
+        pending = []
+        for seed in seed_list:
+            hit = cache.get(specs[seed]) if cache is not None else None
+            if hit is not None:
+                results[seed] = hit
+            else:
+                pending.append(seed)
+        if pending:
+            if executor is not None:
+                futures = {executor.submit(execute_job, specs[s]): s for s in pending}
+                _collect(futures, results)
+            elif jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                    futures = {pool.submit(execute_job, specs[s]): s for s in pending}
+                    _collect(futures, results)
+            else:
+                for seed in pending:
+                    results[seed] = execute_job(specs[seed])
+            if cache is not None:
+                for seed in pending:
+                    cache.put(specs[seed], results[seed])
+    elif executor is not None:
+        futures = {executor.submit(run, seed): seed for seed in seed_list}
+        _collect(futures, results)
+    else:
+        for seed in seed_list:
+            results[seed] = dict(run(seed))
+    return {seed: results[seed] for seed in seed_list}

@@ -19,15 +19,28 @@ def median(values: Sequence[float]) -> float:
 
 
 def median_over_seeds(
-    run: Callable[[int], Mapping[str, float]], seeds: Sequence[int]
+    run: Callable[[int], Mapping[str, float]] | "JobSpec",
+    seeds: Sequence[int],
+    *,
+    jobs: int | None = None,
+    cache: Any | None = None,
+    executor: Any | None = None,
 ) -> dict[str, float]:
-    """Run ``run(seed)`` for each seed; return the per-key median.
+    """Run one job per seed; return the per-key median.
 
-    Every invocation must return the same keys (e.g. per-flow goodput).
+    ``run`` is a plain ``run(seed)`` callable or a pickle-safe
+    :class:`repro.runtime.JobSpec`; execution is delegated to
+    :func:`repro.runtime.map_over_seeds`, so JobSpecs fan out across
+    processes (and hit the result cache) when the ambient execution context
+    or the explicit ``jobs``/``cache``/``executor`` arguments say so.
+    Results are keyed by seed internally, so the median is independent of
+    completion order.  Every invocation must return the same keys (e.g.
+    per-flow goodput).
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    outcomes = [dict(run(seed)) for seed in seeds]
+    from repro.runtime import map_over_seeds
+
+    per_seed = map_over_seeds(run, seeds, jobs=jobs, cache=cache, executor=executor)
+    outcomes = [per_seed[seed] for seed in per_seed]
     keys = outcomes[0].keys()
     for outcome in outcomes[1:]:
         if outcome.keys() != keys:

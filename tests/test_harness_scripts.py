@@ -13,6 +13,9 @@ def load_script(name):
     path = ROOT / "benchmarks" / f"{name}.py"
     spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
+    # Register under its name so worker processes can unpickle references to
+    # the script's module-level functions (e.g. run_all.run_one).
+    sys.modules[name] = module
     spec.loader.exec_module(module)
     return module
 
@@ -30,6 +33,86 @@ def test_run_all_rejects_unknown(tmp_path):
     run_all = load_script("run_all")
     with pytest.raises(SystemExit):
         run_all.main(["fig99", "--results-dir", str(tmp_path)])
+
+
+def strip_timing_footer(text):
+    """Drop the '(generated in Xs, ... mode)' lines: the only varying part."""
+    return "\n".join(
+        line for line in text.splitlines() if not line.startswith("(generated in ")
+    )
+
+
+def test_run_all_jobs_flag_matches_serial_run(tmp_path):
+    run_all = load_script("run_all")
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    ids = ["table3", "table1"]
+    argv = ids + ["--quick", "--no-cache"]
+    assert run_all.main(argv + ["--results-dir", str(serial_dir)]) == 0
+    assert run_all.main(argv + ["--jobs", "2", "--results-dir", str(parallel_dir)]) == 0
+    for name in ("table3.txt", "table1.txt", "ALL.txt"):
+        serial = strip_timing_footer((serial_dir / name).read_text())
+        parallel = strip_timing_footer((parallel_dir / name).read_text())
+        assert serial == parallel, f"{name} differs between serial and --jobs 2"
+
+
+def test_run_all_writes_bench_summary_and_populates_cache(tmp_path):
+    import json
+
+    # table6 goes through median_over_seeds/JobSpec, so its per-seed points
+    # land in the on-disk cache; a second invocation must recompute nothing.
+    run_all = load_script("run_all")
+    assert run_all.main(["table6", "--quick", "--results-dir", str(tmp_path)]) == 0
+    summary = json.loads((tmp_path / "BENCH_parallel.json").read_text())
+    assert summary["mode"] == "quick"
+    assert summary["experiments"][0]["id"] == "table6"
+    assert summary["experiments"][0]["wall_s"] >= 0
+    assert summary["total_cpu_s"] >= 0
+    first_stores = summary["cache"]["stores"]
+    assert first_stores > 0
+    assert list((tmp_path / ".cache").glob("*.json")), "cache dir not populated"
+    # Second invocation reuses every seeded point.
+    assert run_all.main(["table6", "--quick", "--results-dir", str(tmp_path)]) == 0
+    summary = json.loads((tmp_path / "BENCH_parallel.json").read_text())
+    assert summary["cache"]["hits"] == first_stores
+    assert summary["cache"]["stores"] == 0
+
+
+def test_write_atomic_never_leaves_partial_files(tmp_path, monkeypatch):
+    run_all = load_script("run_all")
+    target = tmp_path / "out.txt"
+    target.write_text("intact")
+
+    class ExplodingHandle:
+        def write(self, _text):
+            raise RuntimeError("disk full")
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    import os
+
+    def exploding_fdopen(fd, mode):
+        os.close(fd)
+        return ExplodingHandle()
+
+    monkeypatch.setattr(run_all.os, "fdopen", exploding_fdopen)
+    with pytest.raises(RuntimeError, match="disk full"):
+        run_all.write_atomic(target, "replacement")
+    assert target.read_text() == "intact"  # old content untouched
+    assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+
+def test_write_atomic_replaces_content(tmp_path):
+    run_all = load_script("run_all")
+    target = tmp_path / "out.txt"
+    run_all.write_atomic(target, "first")
+    run_all.write_atomic(target, "second")
+    assert target.read_text() == "second"
+    assert list(tmp_path.iterdir()) == [target]
 
 
 def test_run_all_order_covers_every_artifact():

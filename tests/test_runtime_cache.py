@@ -1,0 +1,126 @@
+"""Cache correctness: hits, misses, invalidation, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import run_nav_pairs
+from repro.mac.frames import FrameKind
+from repro.phy.params import dot11a
+from repro.runtime import (
+    ResultCache,
+    canonical,
+    code_version_token,
+    map_over_seeds,
+    seed_job,
+)
+
+RESULT = {"goodput_R0": 1.25, "goodput_R1": 0.5}
+
+
+def make_spec(**overrides):
+    kwargs = {"duration_s": 0.3, "transport": "udp", "nav_inflation_us": 600.0}
+    kwargs.update(overrides)
+    return seed_job(run_nav_pairs, **kwargs).with_seed(1)
+
+
+def test_hit_on_identical_spec(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    assert cache.get(spec) is None
+    cache.put(spec, RESULT)
+    # A freshly constructed but identical spec must hit.
+    assert cache.get(make_spec()) == RESULT
+    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "errors": 0}
+
+
+def test_miss_on_changed_kwarg_seed_or_duration(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    cache.put(make_spec(), RESULT)
+    assert cache.get(make_spec(nav_inflation_us=700.0)) is None  # kwarg
+    assert cache.get(make_spec().with_seed(2)) is None  # seed
+    assert cache.get(make_spec(duration_s=2.0)) is None  # duration
+    assert cache.get(make_spec()) == RESULT  # sanity: original still hits
+
+
+def test_invalidation_when_code_version_changes(tmp_path):
+    spec = make_spec()
+    ResultCache(tmp_path, version="v1").put(spec, RESULT)
+    assert ResultCache(tmp_path, version="v2").get(spec) is None
+    assert ResultCache(tmp_path, version="v1").get(spec) == RESULT
+
+
+def test_corrupted_entry_warns_and_recomputes(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    cache.put(spec, RESULT)
+    cache.path_for(spec).write_text("{ not json !!")
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        assert cache.get(spec) is None
+    assert cache.errors == 1
+    # The engine falls back to recomputation and repairs the entry.
+    cache.path_for(spec).write_text("{ not json !!")
+    job = seed_job(run_nav_pairs, **dict(spec.kwargs))
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        results = map_over_seeds(job, [1], cache=cache)
+    assert results[1] == cache.get(spec)  # repaired: clean hit, real result
+
+
+def test_entry_with_wrong_shape_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    cache.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+    cache.path_for(spec).write_text(json.dumps({"result": [1, 2, 3]}))
+    with pytest.warns(RuntimeWarning, match="corrupted"):
+        assert cache.get(spec) is None
+
+
+def test_map_over_seeds_uses_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = seed_job(run_nav_pairs, duration_s=0.2, transport="udp")
+    first = map_over_seeds(job, (1, 2), cache=cache)
+    assert cache.stats()["stores"] == 2
+    second = map_over_seeds(job, (1, 2), cache=cache)
+    assert second == first
+    assert cache.stats()["hits"] == 2
+    assert cache.stats()["stores"] == 2  # nothing recomputed
+
+
+def test_code_version_token_is_stable_and_hexish():
+    token = code_version_token()
+    assert token == code_version_token()
+    assert len(token) == 16
+    int(token, 16)  # raises if not hex
+
+
+def test_canonical_handles_runner_argument_types():
+    encoded = canonical(
+        {
+            "frames": frozenset({FrameKind.CTS, FrameKind.ACK}),
+            "phy": dot11a(6.0),
+            "flags": (False, True),
+            "nested": {"b": 2, "a": 1},
+        }
+    )
+    # Must be JSON-serialisable and order-independent.
+    assert json.dumps(encoded, sort_keys=True) == json.dumps(
+        canonical(
+            {
+                "nested": {"a": 1, "b": 2},
+                "flags": [False, True],
+                "phy": dot11a(6.0),
+                "frames": frozenset({FrameKind.ACK, FrameKind.CTS}),
+            }
+        ),
+        sort_keys=True,
+    )
+
+
+def test_canonical_rejects_unstable_types():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="canonicalise"):
+        canonical({"bad": Opaque()})
