@@ -1,0 +1,379 @@
+"""Registry of parameterized hotspot scenario builders.
+
+A *builder* is a module-level runner — ``builder(seed, duration_s, **params)
+-> {metric: value}`` — that assembles one of the paper's hotspot topologies
+and drives it for ``duration_s`` simulated seconds.  Builders take only
+plain data (strings instead of enums, PHY profile names instead of
+:class:`~repro.phy.params.PhyParams` objects), which buys two things at once:
+
+* they are addressable by :class:`repro.runtime.JobSpec` (module path +
+  JSON-stable kwargs), so campaign points fan out over worker processes and
+  land in the on-disk result cache;
+* every argument can be written literally in a TOML campaign spec.
+
+Most builders delegate to the scenario runners in
+:mod:`repro.experiments.common` after converting the plain-data arguments,
+so a campaign point and the corresponding per-figure experiment execute the
+exact same simulation — bit-identical metrics for equal seeds.  Experiment
+modules are encouraged to reuse builders directly (``fig8_nav_ngr`` does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.greedy import GreedyConfig
+from repro.experiments import common as _common
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario, WirelessNodeSpec
+from repro.phy.error import set_ber_all_pairs
+from repro.phy.params import dot11b
+
+US_PER_S = 1_000_000.0
+
+#: Builder name -> module-level runner.  Insertion order is presentation
+#: order (``repro campaign`` help, docs).
+BUILDERS: dict[str, Callable[..., dict[str, float]]] = {}
+
+
+def register(name: str) -> Callable[[Callable[..., dict[str, float]]], Callable[..., dict[str, float]]]:
+    """Class-level decorator: publish a builder under ``name``."""
+
+    def _register(fn: Callable[..., dict[str, float]]) -> Callable[..., dict[str, float]]:
+        if name in BUILDERS:
+            raise ValueError(f"duplicate builder name {name!r}")
+        BUILDERS[name] = fn
+        return fn
+
+    return _register
+
+
+def builder_names() -> list[str]:
+    """All registered builder names, in registration order."""
+    return list(BUILDERS)
+
+
+def get_builder(name: str) -> Callable[..., dict[str, float]]:
+    """Look a builder up by name; raises a readable ``KeyError``."""
+    builder = BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario builder {name!r}; known builders: {builder_names()}"
+        )
+    return builder
+
+
+def _frames(names: Iterable[str | FrameKind]) -> tuple[FrameKind, ...]:
+    """Convert frame-kind names ("CTS", "ACK", ...) to :class:`FrameKind`."""
+    out = []
+    for name in names:
+        if isinstance(name, FrameKind):
+            out.append(name)
+            continue
+        try:
+            out.append(FrameKind[str(name).upper()])
+        except KeyError:
+            raise ValueError(
+                f"unknown frame kind {name!r}; known: {[k.name for k in FrameKind]}"
+            ) from None
+    return tuple(out)
+
+
+def _nav_from_alpha(alpha: float | None, nav_inflation_us: float | None) -> float:
+    """Resolve the NAV inflation from either axis (Fig. 1 zips both).
+
+    ``alpha`` is the paper's x-axis unit (NAV += alpha * 100 us); specs may
+    zip it with the literal microsecond value for readable result tables, in
+    which case the two must agree.
+    """
+    if alpha is not None:
+        derived = float(alpha) * 100.0
+        if nav_inflation_us is not None and float(nav_inflation_us) != derived:
+            raise ValueError(
+                f"alpha={alpha} implies nav_inflation_us={derived}, "
+                f"but nav_inflation_us={nav_inflation_us} was given"
+            )
+        return derived
+    return float(nav_inflation_us) if nav_inflation_us is not None else 0.0
+
+
+# ------------------------------------------------------- NAV inflation -----
+
+
+@register("nav_pairs")
+def nav_pairs(
+    seed: int,
+    duration_s: float,
+    transport: str = "udp",
+    phy: str | None = None,
+    nav_inflation_us: float | None = None,
+    alpha: float | None = None,
+    inflate_frames: Sequence[str] = ("CTS",),
+    greedy_percentage: float = 100.0,
+    n_pairs: int = 2,
+    n_greedy: int = 1,
+) -> dict[str, float]:
+    """Sender->receiver pairs, the last ``n_greedy`` receivers inflating NAV
+    (Figures 1, 2, 4-9).  ``alpha`` is the Fig. 1 axis: NAV += alpha*100 us."""
+    return _common.run_nav_pairs(
+        seed,
+        duration_s,
+        transport=transport,
+        phy=phy,
+        nav_inflation_us=_nav_from_alpha(alpha, nav_inflation_us),
+        inflate_frames=_frames(inflate_frames),
+        greedy_percentage=greedy_percentage,
+        n_pairs=n_pairs,
+        n_greedy=n_greedy,
+    )
+
+
+@register("nav_pairs_sorted")
+def nav_pairs_sorted(
+    seed: int,
+    duration_s: float,
+    nav_ms: float,
+    n_greedy: int,
+    transport: str = "tcp",
+    phy: str | None = None,
+) -> dict[str, float]:
+    """Figure 8's per-seed view of :func:`nav_pairs`: two pairs, 0/1/2 greedy
+    receivers, plus sorted ``goodput_hi``/``goodput_lo`` columns so the
+    winner-takes-all outcome survives the median over seeds."""
+    out = _common.run_nav_pairs(
+        seed,
+        duration_s,
+        transport=transport,
+        phy=phy,
+        nav_inflation_us=nav_ms * 1000.0 if n_greedy else 0.0,
+        inflate_frames=(FrameKind.CTS,),
+        n_greedy=max(n_greedy, 1),
+    )
+    hi, lo = sorted((out["goodput_R0"], out["goodput_R1"]), reverse=True)
+    return {
+        "goodput_R0": out["goodput_R0"],
+        "goodput_R1": out["goodput_R1"],
+        "goodput_hi": hi,
+        "goodput_lo": lo,
+    }
+
+
+@register("nav_shared_sender")
+def nav_shared_sender(
+    seed: int,
+    duration_s: float,
+    transport: str = "udp",
+    phy: str | None = None,
+    nav_inflation_us: float = 0.0,
+    inflate_frames: Sequence[str] = ("CTS",),
+    n_receivers: int = 2,
+    greedy_index: int | None = None,
+) -> dict[str, float]:
+    """One sender, many receivers, one inflating NAV (Figure 10)."""
+    return _common.run_nav_shared_sender(
+        seed,
+        duration_s,
+        transport=transport,
+        phy=phy,
+        nav_inflation_us=nav_inflation_us,
+        inflate_frames=_frames(inflate_frames),
+        n_receivers=n_receivers,
+        greedy_index=greedy_index,
+    )
+
+
+# --------------------------------------------------------- ACK spoofing ----
+
+
+@register("spoof_tcp_pairs")
+def spoof_tcp_pairs(
+    seed: int,
+    duration_s: float,
+    ber: float,
+    phy: str | None = None,
+    spoof_percentage: float = 100.0,
+    n_pairs: int = 2,
+    n_greedy: int = 1,
+    shared_ap: bool = False,
+    grc: bool = False,
+    grc_threshold_db: float = 1.0,
+) -> dict[str, float]:
+    """TCP pairs with spoofed MAC ACKs, optional GRC RSSI detection
+    (Figures 11-14 and 24)."""
+    return _common.run_spoof_tcp_pairs(
+        seed,
+        duration_s,
+        ber=ber,
+        phy=phy,
+        spoof_percentage=spoof_percentage,
+        n_pairs=n_pairs,
+        n_greedy=n_greedy,
+        shared_ap=shared_ap,
+        grc=grc,
+        grc_threshold_db=grc_threshold_db,
+    )
+
+
+@register("spoof_udp_shared_ap")
+def spoof_udp_shared_ap(
+    seed: int,
+    duration_s: float,
+    ber: float,
+    phy: str | None = None,
+    spoof_percentage: float = 100.0,
+    greedy: bool = True,
+) -> dict[str, float]:
+    """One AP, CBR/UDP to a normal and a spoofing receiver (Figure 17)."""
+    return _common.run_spoof_udp_shared_ap(
+        seed,
+        duration_s,
+        ber=ber,
+        phy=phy,
+        spoof_percentage=spoof_percentage,
+        greedy=greedy,
+    )
+
+
+@register("remote_tcp")
+def remote_tcp(
+    seed: int,
+    duration_s: float,
+    wired_delay_us: float,
+    ber: float = 2e-5,
+    phy: str | None = None,
+    spoof_percentage: float = 0.0,
+    grc: bool = False,
+    window: int = 100,
+) -> dict[str, float]:
+    """Remote TCP senders behind a wired link to one AP (Figures 15-16)."""
+    return _common.run_remote_tcp(
+        seed,
+        duration_s,
+        wired_delay_us=wired_delay_us,
+        ber=ber,
+        phy=phy,
+        spoof_percentage=spoof_percentage,
+        grc=grc,
+        window=window,
+    )
+
+
+# ------------------------------------------------------------ fake ACKs ----
+
+
+@register("fake_hidden_terminals")
+def fake_hidden_terminals(
+    seed: int,
+    duration_s: float,
+    fake_percentages: Sequence[float] = (0.0, 100.0),
+    phy: str | None = None,
+) -> dict[str, float]:
+    """Hidden senders whose receivers fake-ACK corrupted frames
+    (Figure 18 / Table IV)."""
+    return _common.run_fake_hidden_terminals(
+        seed,
+        duration_s,
+        fake_percentages=tuple(fake_percentages),
+        phy=phy,
+    )
+
+
+@register("fake_inherent_loss")
+def fake_inherent_loss(
+    seed: int,
+    duration_s: float,
+    data_fer: float = 0.0,
+    greedy_flags: Sequence[bool] = (False, True),
+    phy: str | None = None,
+    ber: float | None = None,
+) -> dict[str, float]:
+    """Fake ACKs under inherent medium losses (Table V / Figure 19)."""
+    return _common.run_fake_inherent_loss(
+        seed,
+        duration_s,
+        data_fer=data_fer,
+        greedy_flags=tuple(bool(f) for f in greedy_flags),
+        phy=phy,
+        ber=ber,
+    )
+
+
+# ------------------------------------------------------------------ GRC ----
+
+
+@register("grc_nav_distance")
+def grc_nav_distance(
+    seed: int,
+    duration_s: float,
+    pair_distance_m: float,
+    transport: str = "udp",
+    grc: bool = True,
+    nav_inflation_us: float = 31_000.0,
+    phy: str | None = None,
+) -> dict[str, float]:
+    """GRC NAV validation vs distance between pairs (Figure 23)."""
+    return _common.run_grc_nav_distance(
+        seed,
+        duration_s,
+        pair_distance_m=pair_distance_m,
+        transport=transport,
+        grc=grc,
+        nav_inflation_us=nav_inflation_us,
+        phy=phy,
+    )
+
+
+# ------------------------------------------------- beyond-the-paper grid ----
+
+
+@register("nav_ber_grc")
+def nav_ber_grc(
+    seed: int,
+    duration_s: float,
+    nav_inflation_us: float = 0.0,
+    ber: float = 0.0,
+    grc: bool = False,
+    transport: str = "udp",
+    phy: str | None = None,
+    n_pairs: int = 2,
+) -> dict[str, float]:
+    """Beyond the paper: NAV inflation under link bit errors, with the GRC
+    NAV validator optionally armed on the honest stations.
+
+    The paper evaluates NAV inflation on clean channels and its GRC defense
+    over distance; this grid crosses the attack with channel quality to ask
+    where link noise starts masking (or amplifying) the misbehavior and
+    whether the defense still restores fairness.
+    """
+    s = Scenario(phy=_common.resolve_phy(phy) or dot11b(), seed=seed)
+    greedy = (
+        GreedyConfig.nav_inflator(float(nav_inflation_us), frozenset({FrameKind.CTS}))
+        if nav_inflation_us > 0
+        else None
+    )
+    specs = [WirelessNodeSpec(f"S{i}") for i in range(n_pairs)]
+    specs += [
+        WirelessNodeSpec(f"R{i}", greedy=greedy if i == n_pairs - 1 else None)
+        for i in range(n_pairs)
+    ]
+    s.add_wireless_nodes(specs)
+    if ber > 0:
+        set_ber_all_pairs(s.error_model, list(s.nodes), float(ber))
+    if grc:
+        honest = [spec.name for spec in specs if spec.greedy is None]
+        s.enable_nav_validation(honest)
+    sinks = []
+    for i in range(n_pairs):
+        if transport == "udp":
+            src, sink = s.udp_flow(f"S{i}", f"R{i}")
+            src.start()
+            sinks.append(sink)
+        else:
+            snd, rcv = s.tcp_flow(f"S{i}", f"R{i}")
+            snd.start()
+            sinks.append(rcv)
+    s.run(duration_s)
+    us = duration_s * US_PER_S
+    out = {f"goodput_R{i}": sink.goodput_mbps(us) for i, sink in enumerate(sinks)}
+    out["nav_detections"] = float(s.report.count("nav"))
+    return out

@@ -1,0 +1,123 @@
+"""Campaign manifest: the on-disk record of what ran, enabling ``--resume``.
+
+``manifest.json`` lives in the campaign's output directory and is rewritten
+atomically after every completed point, so an interrupted run leaves a valid
+partial manifest behind.  A resumed run reloads it, checks that the spec
+hash and code-version token still match (a changed spec or changed simulator
+code makes old numbers non-comparable), and skips every point already marked
+done.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+MANIFEST_VERSION = 1
+
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+
+
+class ManifestError(ValueError):
+    """A manifest could not be read or does not match the requested run."""
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class PointState:
+    """Status of one grid point."""
+
+    id: str
+    index: int
+    params: dict[str, Any]
+    status: str = PENDING
+    seeds_done: list[int] = field(default_factory=list)
+    error: str | None = None
+
+
+@dataclass
+class Manifest:
+    """Everything needed to resume, audit or report a campaign run."""
+
+    name: str
+    builder: str
+    spec_hash: str
+    code_version: str
+    seeds: list[int]
+    duration_s: float
+    points: list[PointState]
+    version: int = MANIFEST_VERSION
+
+    # ------------------------------------------------------------ queries --
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    def count(self, status: str) -> int:
+        return sum(1 for point in self.points if point.status == status)
+
+    @property
+    def complete(self) -> bool:
+        """True when every point completed successfully."""
+        return self.count(DONE) == self.total
+
+    # -------------------------------------------------------------- (de)io --
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def save(self, path: str | Path) -> None:
+        """Persist atomically; safe against interrupts mid-write."""
+        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: str | Path) -> "Manifest":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ManifestError(f"no manifest at {path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(f"unreadable manifest {path}: {exc}") from None
+        try:
+            if data["version"] != MANIFEST_VERSION:
+                raise ManifestError(
+                    f"manifest {path} has version {data['version']}, "
+                    f"this code reads version {MANIFEST_VERSION}"
+                )
+            points = [PointState(**point) for point in data["points"]]
+            return Manifest(
+                name=data["name"],
+                builder=data["builder"],
+                spec_hash=data["spec_hash"],
+                code_version=data["code_version"],
+                seeds=list(data["seeds"]),
+                duration_s=data["duration_s"],
+                points=points,
+                version=data["version"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ManifestError(f"malformed manifest {path}: {exc}") from None

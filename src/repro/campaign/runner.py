@@ -1,0 +1,311 @@
+"""Campaign engine: expand the grid, fan points out, record, aggregate.
+
+One campaign run is a loop over the expanded grid.  Each point becomes a
+:class:`repro.runtime.JobSpec` for the named builder and fans its seeds out
+through :func:`repro.runtime.map_over_seeds` — the same process pool and
+on-disk :class:`~repro.runtime.cache.ResultCache` the per-figure experiments
+use, so a campaign point and the equivalent serial experiment produce
+bit-identical numbers for equal seeds.
+
+Everything lands in one output directory::
+
+    results/campaigns/<name>/
+        manifest.json       # spec hash, code version, per-point status
+        points/<id>.json    # per-seed metrics of one grid point
+        results.csv         # tidy per-point table (params + metric medians)
+        results.json        # full results: per-seed values + medians
+
+The manifest is rewritten atomically after every point, so Ctrl-C mid-run
+leaves a valid partial record; ``--resume`` skips every point already done.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.builders import get_builder
+from repro.campaign.manifest import (
+    DONE,
+    FAILED,
+    Manifest,
+    PointState,
+    atomic_write_text,
+)
+from repro.campaign.spec import CampaignSpec, expand_grid, point_id, spec_hash
+from repro.runtime import ResultCache, code_version_token, map_over_seeds, seed_job
+from repro.stats.summary import median
+
+#: Default root for campaign outputs, mirroring the experiments' results dir.
+DEFAULT_CAMPAIGN_ROOT = Path("results") / "campaigns"
+
+
+class CampaignError(RuntimeError):
+    """A campaign run cannot proceed; the message says why."""
+
+
+@dataclass
+class CampaignRun:
+    """Summary of one ``run_campaign`` invocation."""
+
+    spec: CampaignSpec
+    manifest: Manifest
+    out_dir: Path
+    executed: int  # points actually run this invocation
+    skipped: int  # points skipped because the manifest marked them done
+    failed: int  # points whose runner raised
+    cache_stats: dict[str, int] | None
+
+
+def default_out_dir(spec: CampaignSpec) -> Path:
+    """Where a campaign's artifacts live unless ``--out`` says otherwise."""
+    return DEFAULT_CAMPAIGN_ROOT / spec.name
+
+
+def points_dir(out_dir: Path) -> Path:
+    return Path(out_dir) / "points"
+
+
+def point_path(out_dir: Path, point: PointState) -> Path:
+    return points_dir(out_dir) / f"{point.id}.json"
+
+
+def manifest_path(out_dir: Path) -> Path:
+    return Path(out_dir) / "manifest.json"
+
+
+def _fresh_manifest(spec: CampaignSpec) -> Manifest:
+    points = [
+        PointState(id=point_id(params), index=index, params=dict(params))
+        for index, params in enumerate(expand_grid(spec))
+    ]
+    ids = [point.id for point in points]
+    if len(set(ids)) != len(ids):  # two grid points with identical parameters
+        raise CampaignError(
+            f"campaign {spec.name!r} expands to duplicate points; "
+            "check the sweep/zip axes for repeated values"
+        )
+    return Manifest(
+        name=spec.name,
+        builder=spec.builder,
+        spec_hash=spec_hash(spec),
+        code_version=code_version_token(),
+        seeds=list(spec.seeds),
+        duration_s=spec.duration_s,
+        points=points,
+    )
+
+
+def _resumable_manifest(spec: CampaignSpec, out_dir: Path) -> Manifest:
+    """Load an existing manifest and verify it matches this spec + code."""
+    manifest = Manifest.load(manifest_path(out_dir))
+    if manifest.spec_hash != spec_hash(spec):
+        raise CampaignError(
+            f"cannot resume in {out_dir}: the manifest was written for spec "
+            f"hash {manifest.spec_hash}, this spec resolves to "
+            f"{spec_hash(spec)} (spec changed, or quick/full modes mixed); "
+            "rerun without --resume or use a fresh --out directory"
+        )
+    if manifest.code_version != code_version_token():
+        raise CampaignError(
+            f"cannot resume in {out_dir}: simulator code changed since the "
+            "manifest was written (completed points would not be comparable "
+            "with new ones); rerun without --resume"
+        )
+    return manifest
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: str | Path | None = None,
+    jobs: int = 1,
+    resume: bool = False,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignRun:
+    """Run (or resume) a campaign; returns the invocation summary.
+
+    Points execute sequentially in grid order; within a point, seeds fan out
+    over ``jobs`` worker processes and the shared result cache (under
+    ``<out>/cache`` unless ``cache_dir`` overrides it — so re-running a
+    finished campaign without ``--resume`` recomputes nothing either).
+    A point whose builder raises is marked failed in the manifest, and the
+    run continues with the remaining points.
+    """
+    out = Path(out_dir) if out_dir is not None else default_out_dir(spec)
+    out.mkdir(parents=True, exist_ok=True)
+
+    if resume and manifest_path(out).exists():
+        manifest = _resumable_manifest(spec, out)
+    else:
+        manifest = _fresh_manifest(spec)
+    manifest.save(manifest_path(out))
+
+    cache = None
+    if use_cache:
+        cache = ResultCache(Path(cache_dir) if cache_dir is not None else out / "cache")
+    builder = get_builder(spec.builder)
+
+    executed = skipped = failed = 0
+    say = progress if progress is not None else lambda _message: None
+    executor = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+    try:
+        for point in manifest.points:
+            label = f"point {point.index + 1}/{manifest.total} [{point.id}]"
+            if point.status == DONE and point_path(out, point).exists():
+                skipped += 1
+                say(f"{label} already done, skipped")
+                continue
+            job = seed_job(builder, duration_s=spec.duration_s, **point.params)
+            try:
+                per_seed = map_over_seeds(
+                    job, spec.seeds, jobs=jobs, cache=cache, executor=executor
+                )
+            except Exception as exc:  # noqa: BLE001 - recorded, run continues
+                point.status = FAILED
+                point.seeds_done = []
+                point.error = f"{type(exc).__name__}: {exc}"
+                manifest.save(manifest_path(out))
+                failed += 1
+                say(f"{label} FAILED: {point.error}")
+                continue
+            payload = {
+                "id": point.id,
+                "params": point.params,
+                "per_seed": {str(seed): metrics for seed, metrics in per_seed.items()},
+                "median": _medians(per_seed),
+            }
+            atomic_write_text(
+                point_path(out, point), json.dumps(payload, indent=2, sort_keys=True)
+            )
+            point.status = DONE
+            point.seeds_done = list(spec.seeds)
+            point.error = None
+            manifest.save(manifest_path(out))
+            executed += 1
+            say(f"{label} done ({len(spec.seeds)} seeds)")
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+    write_reports(out, manifest)
+    return CampaignRun(
+        spec=spec,
+        manifest=manifest,
+        out_dir=out,
+        executed=executed,
+        skipped=skipped,
+        failed=failed,
+        cache_stats=cache.stats() if cache is not None else None,
+    )
+
+
+def _medians(per_seed: dict[int, dict[str, float]]) -> dict[str, float]:
+    outcomes = list(per_seed.values())
+    return {
+        key: median([outcome[key] for outcome in outcomes]) for key in outcomes[0]
+    }
+
+
+# ------------------------------------------------------------- reporting ----
+
+
+def load_point_results(
+    out_dir: str | Path, manifest: Manifest
+) -> dict[str, dict[str, Any]]:
+    """Per-point payloads ({id: {params, per_seed, median}}) of done points."""
+    out = Path(out_dir)
+    results: dict[str, dict[str, Any]] = {}
+    for point in manifest.points:
+        if point.status != DONE:
+            continue
+        path = point_path(out, point)
+        try:
+            results[point.id] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"point result {path} is missing or corrupt ({exc}); "
+                "rerun the campaign (without --resume) to regenerate it"
+            ) from None
+    return results
+
+
+def aggregate(manifest: Manifest, results: dict[str, dict[str, Any]]) -> tuple[list[str], list[dict[str, Any]]]:
+    """Tidy results table: one row per done point, params + metric medians.
+
+    Returns ``(columns, rows)``.  Parameter columns come first, then metric
+    columns, each sorted by name — the manifest and point files round-trip
+    through ``sort_keys`` JSON, so sorted columns keep the table layout
+    identical whether it is built from a live run or reloaded from disk.
+    """
+    param_cols: list[str] = []
+    metric_cols: list[str] = []
+    rows: list[dict[str, Any]] = []
+    for point in manifest.points:
+        payload = results.get(point.id)
+        if payload is None:
+            continue
+        for key in sorted(point.params):
+            if key not in param_cols:
+                param_cols.append(key)
+        for key in sorted(payload["median"]):
+            if key not in metric_cols:
+                metric_cols.append(key)
+        rows.append(
+            {
+                "index": point.index,
+                "point": point.id,
+                **point.params,
+                **payload["median"],
+            }
+        )
+    return ["index", "point", *param_cols, *metric_cols], rows
+
+
+def write_reports(out_dir: str | Path, manifest: Manifest) -> tuple[Path, Path]:
+    """Write ``results.csv`` (tidy medians) and ``results.json`` (full)."""
+    out = Path(out_dir)
+    results = load_point_results(out, manifest)
+    columns, rows = aggregate(manifest, results)
+
+    csv_lines = [",".join(columns)]
+    for row in rows:
+        csv_lines.append(",".join(_csv_cell(row.get(column)) for column in columns))
+    csv_path = out / "results.csv"
+    atomic_write_text(csv_path, "\n".join(csv_lines) + "\n")
+
+    json_path = out / "results.json"
+    atomic_write_text(
+        json_path,
+        json.dumps(
+            {
+                "name": manifest.name,
+                "builder": manifest.builder,
+                "spec_hash": manifest.spec_hash,
+                "code_version": manifest.code_version,
+                "seeds": manifest.seeds,
+                "duration_s": manifest.duration_s,
+                "columns": columns,
+                "points": [results[p.id] for p in manifest.points if p.id in results],
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )
+    return csv_path, json_path
+
+
+def _csv_cell(value: Any) -> str:
+    """Render one CSV cell; floats keep full precision (repr round-trips)."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    text = str(value)
+    if any(ch in text for ch in ",\"\n"):
+        text = '"' + text.replace('"', '""') + '"'
+    return text

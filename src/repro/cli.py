@@ -6,10 +6,14 @@
     python -m repro run fig1 --quick          # regenerate one table/figure
     python -m repro run fig1 --jobs 4         # seeded repetitions in parallel
     python -m repro demo nav --grc            # misbehavior demo + sparkline
+    python -m repro campaign run examples/campaigns/fig1_nav_udp.toml --jobs 4
+    python -m repro campaign status results/campaigns/fig1_nav_udp
+    python -m repro campaign report results/campaigns/fig1_nav_udp
 
 The demos build a small hotspot, run the chosen misbehavior, and print
 per-flow goodput plus a goodput-over-time sparkline so the takeover (and the
-GRC recovery) is visible at a glance.
+GRC recovery) is visible at a glance.  Campaigns run declarative TOML sweep
+specs (see examples/campaigns/) with a resumable manifest.
 """
 
 from __future__ import annotations
@@ -137,6 +141,148 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------- campaigns -----
+
+
+def _campaign_out_dir(target: str, quick: bool):
+    """Resolve a run/status/report target: a spec .toml or an output dir."""
+    from pathlib import Path
+
+    from repro.campaign import default_out_dir, load_spec
+
+    path = Path(target)
+    if path.is_dir():
+        return path
+    return default_out_dir(load_spec(path, quick=quick))
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignError,
+        ManifestError,
+        SpecError,
+        load_spec,
+        run_campaign,
+    )
+
+    try:
+        spec = load_spec(args.spec, quick=args.quick)
+        summary = run_campaign(
+            spec,
+            out_dir=args.out,
+            jobs=args.jobs,
+            resume=args.resume,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            progress=print if args.verbose else None,
+        )
+    except (SpecError, CampaignError, ManifestError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    manifest = summary.manifest
+    mode = " (quick)" if args.quick else ""
+    print(
+        f"campaign {spec.name}{mode}: {manifest.total} points x "
+        f"{len(spec.seeds)} seeds, builder {spec.builder}"
+    )
+    print(
+        f"  executed {summary.executed}, skipped {summary.skipped}, "
+        f"failed {summary.failed}"
+    )
+    if summary.cache_stats is not None:
+        stats = summary.cache_stats
+        print(f"  cache: {stats['hits']} hits, {stats['misses']} misses")
+    print(f"  out: {summary.out_dir} (manifest.json, results.csv, results.json)")
+    return 1 if summary.failed else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import DONE, Manifest, ManifestError, SpecError, manifest_path
+    from repro.stats.summary import format_table
+
+    try:
+        out = _campaign_out_dir(args.target, args.quick)
+        manifest = Manifest.load(manifest_path(out))
+    except (SpecError, ManifestError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(
+        f"campaign {manifest.name}: {manifest.count(DONE)}/{manifest.total} points "
+        f"done, {manifest.count('failed')} failed, "
+        f"{manifest.count('pending')} pending (spec {manifest.spec_hash})"
+    )
+    rows = [
+        [
+            str(point.index),
+            point.id,
+            point.status,
+            f"{len(point.seeds_done)}/{len(manifest.seeds)}",
+            point.error or "",
+        ]
+        for point in manifest.points
+    ]
+    print(format_table(["index", "point", "status", "seeds", "error"], rows), end="")
+    if args.expect_complete and not manifest.complete:
+        print("campaign is not complete", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.campaign import (
+        CampaignError,
+        Manifest,
+        ManifestError,
+        SpecError,
+        aggregate,
+        load_point_results,
+        manifest_path,
+    )
+    from repro.stats.summary import format_table
+
+    try:
+        out = _campaign_out_dir(args.target, args.quick)
+        manifest = Manifest.load(manifest_path(out))
+        results = load_point_results(out, manifest)
+    except (SpecError, CampaignError, ManifestError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    columns, rows = aggregate(manifest, results)
+    if args.format == "json":
+        text = _json.dumps(
+            {"name": manifest.name, "columns": columns, "rows": rows},
+            indent=2,
+            sort_keys=True,
+        )
+    elif args.format == "csv":
+        lines = [",".join(columns)]
+        lines += [",".join(str(row.get(c, "")) for c in columns) for row in rows]
+        text = "\n".join(lines)
+    else:
+        header = (
+            f"== campaign {manifest.name} ==\n"
+            f"{len(rows)}/{manifest.total} points done; metric medians over "
+            f"seeds {manifest.seeds}\n"
+        )
+        cells = [[_fmt_cell(row.get(c, "")) for c in columns] for row in rows]
+        text = header + format_table(columns, cells).rstrip("\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -164,6 +310,68 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. results/.cache)",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="declarative sweep campaigns (TOML specs + manifests)"
+    )
+    csub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+
+    p_crun = csub.add_parser("run", help="run (or resume) a campaign spec")
+    p_crun.add_argument("spec", help="path to a campaign .toml spec")
+    p_crun.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan each point's seeded runs out over N worker processes",
+    )
+    p_crun.add_argument(
+        "--quick", action="store_true", help="apply the spec's [quick] overrides"
+    )
+    p_crun.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points the manifest already marks done",
+    )
+    p_crun.add_argument(
+        "--out", help="output directory (default results/campaigns/<name>)"
+    )
+    p_crun.add_argument(
+        "--cache-dir", help="per-seed result cache directory (default <out>/cache)"
+    )
+    p_crun.add_argument(
+        "--no-cache", action="store_true", help="disable the per-seed result cache"
+    )
+    p_crun.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-point progress"
+    )
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cstatus = csub.add_parser("status", help="show a campaign's manifest status")
+    p_cstatus.add_argument("target", help="campaign output directory or spec .toml")
+    p_cstatus.add_argument(
+        "--quick",
+        action="store_true",
+        help="resolve a spec target the way a --quick run would",
+    )
+    p_cstatus.add_argument(
+        "--expect-complete",
+        action="store_true",
+        help="exit 1 unless every point is done (CI gate)",
+    )
+    p_cstatus.set_defaults(func=_cmd_campaign_status)
+
+    p_creport = csub.add_parser("report", help="print the aggregated results table")
+    p_creport.add_argument("target", help="campaign output directory or spec .toml")
+    p_creport.add_argument(
+        "--quick",
+        action="store_true",
+        help="resolve a spec target the way a --quick run would",
+    )
+    p_creport.add_argument(
+        "--format", choices=["text", "csv", "json"], default="text"
+    )
+    p_creport.add_argument("-o", "--output", help="write the report to a file")
+    p_creport.set_defaults(func=_cmd_campaign_report)
 
     p_demo = sub.add_parser("demo", help="run a misbehavior demo")
     p_demo.add_argument("kind", choices=["nav", "spoof", "fake"])

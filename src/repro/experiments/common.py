@@ -15,11 +15,12 @@ from repro.core.greedy import GreedyConfig
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.phy.error import set_ber_all_pairs
-from repro.phy.params import PhyParams, dot11b
+from repro.phy.params import PhyParams, dot11a, dot11b
 from repro.runtime import seed_job
 
 __all__ = [
     "RunSettings",
+    "resolve_phy",
     "seed_job",
     "run_nav_pairs",
     "run_nav_shared_sender",
@@ -38,6 +39,28 @@ FULL_DURATION_S = 5.0
 FULL_SEEDS = (1, 2, 3, 4, 5)
 QUICK_DURATION_S = 1.5
 QUICK_SEEDS = (1, 2)
+
+
+#: Named PHY profiles, addressable from declarative campaign specs.
+PHY_PROFILES = {"dot11b": dot11b, "dot11a": dot11a}
+
+
+def resolve_phy(phy: PhyParams | str | None) -> PhyParams | None:
+    """Accept a :class:`PhyParams`, a profile name or None (scenario default).
+
+    Profile names ("dot11b", "dot11a") let TOML campaign specs and other
+    plain-data callers select a PHY without constructing objects.
+    """
+    if phy is None or isinstance(phy, PhyParams):
+        return phy
+    if isinstance(phy, str):
+        factory = PHY_PROFILES.get(phy)
+        if factory is None:
+            raise ValueError(
+                f"unknown PHY profile {phy!r}; known: {sorted(PHY_PROFILES)}"
+            )
+        return factory()
+    raise TypeError(f"phy must be PhyParams, profile name or None, got {type(phy).__name__}")
 
 
 @dataclass(frozen=True)
@@ -63,7 +86,7 @@ def run_nav_pairs(
     seed: int,
     duration_s: float,
     transport: str = "udp",
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
     nav_inflation_us: float = 0.0,
     inflate_frames: Iterable[FrameKind] = (FrameKind.CTS,),
     greedy_percentage: float = 100.0,
@@ -73,7 +96,7 @@ def run_nav_pairs(
     """``n_pairs`` sender->receiver pairs, the last ``n_greedy`` receivers
     greedy (NAV inflation).  Returns per-receiver goodput plus sender CW and
     RTS counters (Figures 1, 2, 4-9 and Table II all read from this)."""
-    s = Scenario(phy=phy or dot11b(), seed=seed)
+    s = Scenario(phy=resolve_phy(phy) or dot11b(), seed=seed)
     frames = frozenset(inflate_frames)
     flows = []
     for i in range(n_pairs):
@@ -111,7 +134,7 @@ def run_nav_shared_sender(
     seed: int,
     duration_s: float,
     transport: str = "udp",
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
     nav_inflation_us: float = 0.0,
     inflate_frames: Iterable[FrameKind] = (FrameKind.CTS,),
     n_receivers: int = 2,
@@ -119,7 +142,7 @@ def run_nav_shared_sender(
 ) -> dict[str, float]:
     """One sender, ``n_receivers`` receivers, one of them inflating NAV
     (Figure 10 and the 1-sender column of Table II)."""
-    s = Scenario(phy=phy or dot11b(), seed=seed)
+    s = Scenario(phy=resolve_phy(phy) or dot11b(), seed=seed)
     s.add_wireless_node("S")
     if greedy_index is None:
         greedy_index = n_receivers - 1
@@ -172,7 +195,7 @@ def run_spoof_tcp_pairs(
     seed: int,
     duration_s: float,
     ber: float,
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
     spoof_percentage: float = 100.0,
     n_pairs: int = 2,
     n_greedy: int = 1,
@@ -182,7 +205,7 @@ def run_spoof_tcp_pairs(
 ) -> dict[str, float]:
     """TCP flows with the last ``n_greedy`` receivers spoofing MAC ACKs on
     behalf of all normal receivers (Figures 11-14 and 24)."""
-    s = Scenario(phy=phy or dot11b(), seed=seed)
+    s = Scenario(phy=resolve_phy(phy) or dot11b(), seed=seed)
     positions = _spoof_positions(n_pairs)
     sender_names = ["S0"] if shared_ap else [f"S{i}" for i in range(n_pairs)]
     for name in sender_names:
@@ -222,13 +245,13 @@ def run_spoof_udp_shared_ap(
     seed: int,
     duration_s: float,
     ber: float,
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
     spoof_percentage: float = 100.0,
     greedy: bool = True,
 ) -> dict[str, float]:
     """Figure 17: one AP sends CBR/UDP to a normal and a greedy receiver; the
     greedy one spoofs ACKs for the normal one, stealing service time."""
-    s = Scenario(phy=phy or dot11b(), seed=seed)
+    s = Scenario(phy=resolve_phy(phy) or dot11b(), seed=seed)
     s.add_wireless_node("AP", position=(0.0, 0.0))
     s.add_wireless_node("NR", position=(10.0, 0.0))
     config = (
@@ -257,14 +280,14 @@ def run_remote_tcp(
     duration_s: float,
     wired_delay_us: float,
     ber: float = 2e-5,
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
     spoof_percentage: float = 0.0,
     grc: bool = False,
     window: int = 100,
 ) -> dict[str, float]:
     """Figures 15-16: two remote TCP senders behind a wired link to one AP,
     two wireless receivers, the greedy one spoofing ACKs for the other."""
-    s = Scenario(phy=phy or dot11b(), seed=seed)
+    s = Scenario(phy=resolve_phy(phy) or dot11b(), seed=seed)
     # Queue deeper than the sum of both TCP windows: the paper studies
     # wireless losses, not router buffer overflow, and a shallow AP queue
     # phase-locks the two synchronized flows into asymmetric drop patterns.
@@ -307,12 +330,12 @@ def run_fake_hidden_terminals(
     seed: int,
     duration_s: float,
     fake_percentages: Sequence[float] = (0.0, 100.0),
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
 ) -> dict[str, float]:
     """Figure 18 / Table IV: two hidden senders, receivers in between; each
     receiver fake-ACKs with its own greedy percentage (0 = honest)."""
     s = Scenario(
-        phy=phy or dot11b(), seed=seed, rts_enabled=False, ranges=(55.0, 99.0)
+        phy=resolve_phy(phy) or dot11b(), seed=seed, rts_enabled=False, ranges=(55.0, 99.0)
     )
     s.add_wireless_node("S0", position=(0.0, 0.0))
     s.add_wireless_node("S1", position=(108.0, 0.0))
@@ -338,14 +361,14 @@ def run_fake_inherent_loss(
     duration_s: float,
     data_fer: float,
     greedy_flags: Sequence[bool],
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
     ber: float | None = None,
 ) -> dict[str, float]:
     """Table V / Figure 19: per-pair APs in range, inherent medium losses,
     some receivers fake-ACKing.  ``data_fer`` sets a direct data frame error
     rate; pass ``ber`` instead for Figure 19's random-BER variant."""
     n = len(greedy_flags)
-    s = Scenario(phy=phy or dot11b(), seed=seed, rts_enabled=False)
+    s = Scenario(phy=resolve_phy(phy) or dot11b(), seed=seed, rts_enabled=False)
     for i in range(n):
         s.add_wireless_node(f"S{i}")
     for i, flag in enumerate(greedy_flags):
@@ -379,7 +402,7 @@ def run_grc_nav_distance(
     transport: str = "udp",
     grc: bool = True,
     nav_inflation_us: float = 31_000.0,
-    phy: PhyParams | None = None,
+    phy: PhyParams | str | None = None,
 ) -> dict[str, float]:
     """Figure 23: the greedy pair (S2, R2) sits ``pair_distance_m`` away from
     the normal pair (S1, R1); communication range 55 m, interference 99 m.
@@ -387,7 +410,7 @@ def run_grc_nav_distance(
     Within the sender's range the validators clamp the CTS NAV exactly; in
     the 45-55 m band they fall back to the 1500-byte MTU bound."""
     s = Scenario(
-        phy=phy or dot11b(),
+        phy=resolve_phy(phy) or dot11b(),
         seed=seed,
         ranges=(55.0, 99.0),
     )

@@ -6,33 +6,14 @@ the other and keep re-grabbing it.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
-from repro.mac.frames import FrameKind
+# The per-seed runner is the shared campaign builder: one definition serves
+# this figure, `repro campaign` specs (examples/campaigns/fig8_nav_ngr.toml)
+# and the parallel engine alike.
+from repro.campaign.builders import nav_pairs_sorted as seed_run
+from repro.experiments.common import RunSettings, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 NAV_MS = (5.0, 10.0, 31.0)
-
-
-def seed_run(
-    seed: int, duration_s: float, nav_ms: float, n_greedy: int
-) -> dict[str, float]:
-    """One seeded point, sorted per-seed so the winner stays visible
-    (module-level so the parallel engine can address it)."""
-    out = run_nav_pairs(
-        seed,
-        duration_s,
-        transport="tcp",
-        nav_inflation_us=nav_ms * 1000.0 if n_greedy else 0.0,
-        inflate_frames=(FrameKind.CTS,),
-        n_greedy=max(n_greedy, 1),
-    )
-    hi, lo = sorted((out["goodput_R0"], out["goodput_R1"]), reverse=True)
-    return {
-        "goodput_R0": out["goodput_R0"],
-        "goodput_R1": out["goodput_R1"],
-        "goodput_hi": hi,
-        "goodput_lo": lo,
-    }
 
 
 def run(quick: bool = False) -> ExperimentResult:

@@ -21,9 +21,16 @@ Section VII) are the optional ``nav_validator`` and ``ack_inspector``.
 
 from __future__ import annotations
 
-import random
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:
+    # Type annotations only.  The MAC never draws from the global ``random``
+    # module: every stochastic decision (backoff slots) flows through the
+    # per-scenario injected ``rng`` stream, so interleaving the construction
+    # of two simulators can never perturb either one's results
+    # (tests/test_rng_isolation.py holds this invariant down).
+    import random
 
 from repro.mac.frames import (
     Frame,

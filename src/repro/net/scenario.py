@@ -7,9 +7,8 @@ stations, APs, wired remote hosts) and a shared GRC detection report.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.detection import (
     DetectionReport,
@@ -129,6 +128,26 @@ class Scenario:
         self.macs[name] = mac
         self.policies[name] = policy
         return node
+
+    def add_wireless_nodes(
+        self, specs: "Iterable[WirelessNodeSpec]", **common_kwargs: Any
+    ) -> list[Node]:
+        """Create one station per :class:`WirelessNodeSpec`, in order.
+
+        ``common_kwargs`` (e.g. ``queue_limit``, ``rts_enabled``) apply to
+        every station; per-station position/greedy config come from the spec.
+        This is the assembly path for declaratively-described topologies
+        (campaign builders hand lists of specs straight to it).
+        """
+        return [
+            self.add_wireless_node(
+                spec.name,
+                position=spec.position,
+                greedy=spec.greedy,
+                **common_kwargs,
+            )
+            for spec in specs
+        ]
 
     def add_wired_node(self, name: str) -> Node:
         """Create a node with no radio (a remote Internet host)."""

@@ -91,10 +91,23 @@ class JobSpec:
 
     @classmethod
     def of(cls, runner: Callable[..., Any] | str, /, **kwargs: Any) -> "JobSpec":
-        """Build a spec from a module-level callable (or its path)."""
+        """Build a spec from a module-level callable (or its path).
+
+        Every kwarg must canonicalise (see :func:`canonical`); opaque values
+        are rejected here, at construction time, so a cache key can never
+        silently collide with another job's or churn between runs because an
+        argument hashed through an unstable ``repr``/pickle round-trip.
+        """
         path = runner if isinstance(runner, str) else runner_path(runner)
         if "seed" in kwargs:
             raise ValueError("pass the seed via with_seed()/map_over_seeds, not kwargs")
+        for key, value in kwargs.items():
+            try:
+                canonical(value)
+            except TypeError as exc:
+                raise TypeError(
+                    f"kwarg {key!r} for runner {path} is not cache-key stable: {exc}"
+                ) from None
         return cls(runner=path, kwargs=dict(kwargs))
 
     def with_seed(self, seed: int) -> "JobSpec":

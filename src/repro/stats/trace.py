@@ -12,7 +12,10 @@ eyeballing when a greedy receiver takes the channel over.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro.sim.engine import Simulator
@@ -33,6 +36,10 @@ class TraceRecord:
     size_bytes: int
     rate_mbps: float | None
     airtime_us: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Field dict, JSON-ready (what :meth:`FrameTracer.to_jsonl` writes)."""
+        return dataclasses.asdict(self)
 
     def to_line(self) -> str:
         """One-line ns-2-style rendering of this record."""
@@ -126,6 +133,22 @@ class FrameTracer:
         """Render the (optionally truncated) trace as text lines."""
         rows = self.records if limit is None else self.records[:limit]
         return "\n".join(r.to_line() for r in rows)
+
+    def to_jsonl(self, path: str | Path, limit: int | None = None) -> int:
+        """Write the trace as JSON Lines (one record per line); returns the
+        record count written.  This is the persistence format campaign runs
+        use for offline inspection — each line is self-describing, so traces
+        from different points can be concatenated and grepped/loaded with any
+        JSONL tooling."""
+        rows = self.records if limit is None else self.records[:limit]
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            for record in rows:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(rows)
 
 
 class GoodputSeries:

@@ -82,6 +82,7 @@ class TcpSender:
         self.ssthresh = float(window)
         self.snd_una = 0  # lowest unacknowledged segment
         self.snd_nxt = 0  # next new segment to send
+        self.snd_max = 0  # highest segment ever sent + 1 (survives go-back-N)
         self._dupacks = 0
         self._recover = -1  # fast-recovery high-water mark (-1: not in recovery)
 
@@ -132,6 +133,7 @@ class TcpSender:
             created_at=self.sim.now,
         )
         self.segments_sent += 1
+        self.snd_max = max(self.snd_max, seq + 1)
         if retransmit:
             self.retransmits += 1
             self._retransmitted.add(seq)

@@ -1,0 +1,359 @@
+"""Validation, grid expansion and hashing of declarative campaign specs.
+
+The expansion properties the runner relies on: ``expand_grid`` is
+deterministic, order-stable, and exactly the Cartesian product of the sweep
+axes with the zipped axes advanced in lockstep as one trailing axis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignSpec,
+    SpecError,
+    builder_names,
+    expand_grid,
+    load_spec,
+    point_id,
+    spec_from_dict,
+    spec_hash,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "campaigns"
+
+try:
+    import tomllib  # noqa: F401
+
+    HAVE_TOMLLIB = True
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    HAVE_TOMLLIB = False
+
+needs_tomllib = pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
+
+
+def base_data() -> dict:
+    """A valid little spec the error tests mutate."""
+    return {
+        "campaign": {
+            "name": "unit",
+            "builder": "nav_pairs",
+            "seeds": [1, 2],
+            "duration_s": 0.5,
+        },
+        "params": {"transport": "udp"},
+        "sweep": {"n_greedy": [0, 1]},
+        "zip": {"alpha": [0, 3], "nav_inflation_us": [0.0, 300.0]},
+    }
+
+
+# ------------------------------------------------------------ validation ----
+
+
+def test_valid_spec_resolves():
+    spec = spec_from_dict(base_data())
+    assert spec.builder == "nav_pairs"
+    assert spec.seeds == (1, 2)
+    assert spec.n_points == 4  # 2 sweep values x 2 zipped rows
+    assert spec.axis_names() == ["n_greedy", "alpha", "nav_inflation_us"]
+
+
+def test_unknown_builder_lists_known_ones():
+    data = base_data()
+    data["campaign"]["builder"] = "nope"
+    with pytest.raises(SpecError, match="unknown builder 'nope'") as exc:
+        spec_from_dict(data)
+    assert "nav_pairs" in str(exc.value)  # the known-builders list is shown
+
+
+def test_unknown_parameter_lists_accepted_ones():
+    data = base_data()
+    data["params"]["bogus_knob"] = 1
+    with pytest.raises(SpecError, match="bogus_knob") as exc:
+        spec_from_dict(data)
+    assert "accepts" in str(exc.value)
+    assert "nav_inflation_us" in str(exc.value)
+
+
+@pytest.mark.parametrize("reserved", ["seed", "duration_s"])
+def test_reserved_parameters_rejected(reserved):
+    data = base_data()
+    data["sweep"][reserved] = [1, 2]
+    with pytest.raises(SpecError, match="campaign engine"):
+        spec_from_dict(data)
+
+
+def test_zip_length_mismatch():
+    data = base_data()
+    data["zip"]["alpha"] = [0, 3, 6]
+    with pytest.raises(SpecError, match="same length"):
+        spec_from_dict(data)
+
+
+def test_parameter_in_two_tables():
+    data = base_data()
+    data["sweep"]["alpha"] = [0, 1]  # also a zip axis
+    with pytest.raises(SpecError, match="exactly one"):
+        spec_from_dict(data)
+
+
+@pytest.mark.parametrize(
+    "seeds, msg",
+    [
+        ([], "non-empty"),
+        ([1, 1], "duplicate"),
+        ([1, True], "integers"),
+        ([1, "x"], "integers"),
+    ],
+)
+def test_bad_seeds(seeds, msg):
+    data = base_data()
+    data["campaign"]["seeds"] = seeds
+    with pytest.raises(SpecError, match=msg):
+        spec_from_dict(data)
+
+
+@pytest.mark.parametrize("duration", [0, -1.0, "long", True])
+def test_bad_duration(duration):
+    data = base_data()
+    data["campaign"]["duration_s"] = duration
+    with pytest.raises(SpecError, match="duration_s"):
+        spec_from_dict(data)
+
+
+def test_unknown_top_level_table():
+    data = base_data()
+    data["sweeps"] = {"n_greedy": [0]}  # typo for [sweep]
+    with pytest.raises(SpecError, match=r"unknown top-level table.*sweeps"):
+        spec_from_dict(data)
+
+
+def test_empty_axis_rejected():
+    data = base_data()
+    data["sweep"]["n_greedy"] = []
+    with pytest.raises(SpecError, match="non-empty list"):
+        spec_from_dict(data)
+
+
+def test_quick_may_only_narrow_existing_axes():
+    data = base_data()
+    data["quick"] = {"sweep": {"greedy_percentage": [50.0]}}  # new axis
+    with pytest.raises(SpecError, match="only narrow"):
+        spec_from_dict(data, quick=True)
+    # the same override is simply ignored when quick mode is off
+    assert spec_from_dict(data).n_points == 4
+
+
+def test_quick_overrides_apply_and_change_the_hash():
+    data = base_data()
+    data["quick"] = {
+        "seeds": [1],
+        "duration_s": 0.1,
+        "sweep": {"n_greedy": [1]},
+        "zip": {"alpha": [3], "nav_inflation_us": [300.0]},
+    }
+    full = spec_from_dict(data)
+    quick = spec_from_dict(data, quick=True)
+    assert full.n_points == 4 and quick.n_points == 1
+    assert quick.seeds == (1,) and quick.duration_s == 0.1
+    assert spec_hash(full) != spec_hash(quick)
+
+
+def test_opaque_parameter_values_rejected():
+    data = base_data()
+    data["params"]["transport"] = object()
+    with pytest.raises(SpecError, match="plain data"):
+        spec_from_dict(data)
+
+
+# ---------------------------------------------------------------- hashing ----
+
+
+def test_spec_hash_ignores_cosmetic_fields():
+    a = spec_from_dict(base_data())
+    cosmetic = base_data()
+    cosmetic["campaign"]["name"] = "renamed"
+    cosmetic["campaign"]["description"] = "now with prose"
+    b = spec_from_dict(cosmetic, source="elsewhere.toml")
+    assert spec_hash(a) == spec_hash(b)
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d["campaign"].__setitem__("seeds", [1, 2, 3]),
+        lambda d: d["campaign"].__setitem__("duration_s", 1.0),
+        lambda d: d["params"].__setitem__("transport", "tcp"),
+        lambda d: d["sweep"].__setitem__("n_greedy", [0, 1, 2]),
+        lambda d: d["campaign"].__setitem__("builder", "nav_shared_sender"),
+    ],
+)
+def test_spec_hash_tracks_material_fields(mutate):
+    base = spec_from_dict(base_data())
+    data = base_data()
+    mutate(data)
+    if data["campaign"]["builder"] == "nav_shared_sender":
+        # that builder has different parameters; keep the spec valid
+        data["params"] = {"transport": "udp"}
+        data["sweep"] = {"n_receivers": [2, 3]}
+        data["zip"] = {}
+    assert spec_hash(spec_from_dict(data)) != spec_hash(base)
+
+
+def test_point_id_is_stable_and_order_insensitive():
+    a = point_id({"x": 1, "y": "udp"})
+    b = point_id({"y": "udp", "x": 1})
+    assert a == b
+    assert a != point_id({"x": 2, "y": "udp"})
+    assert len(a) == 12
+
+
+# ------------------------------------------------- expansion properties -----
+
+# Specs for the property tests are built directly (bypassing builder
+# signature validation) so the axes can be arbitrary names/values.
+
+axis_values = st.lists(st.integers(-50, 50), min_size=1, max_size=4, unique=True)
+sweep_tables = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), axis_values, max_size=3
+)
+zip_shapes = st.tuples(
+    st.lists(st.sampled_from(["za", "zb"]), unique=True, max_size=2),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+def make_spec(params, sweep, zip_names, zip_len):
+    zip_axes = {
+        name: [10 * zip_len + i + ord(name[-1]) for i in range(zip_len)]
+        for name in zip_names
+    }
+    return CampaignSpec(
+        name="prop",
+        builder="nav_pairs",
+        seeds=(1,),
+        duration_s=1.0,
+        params=dict(params),
+        sweep={k: list(v) for k, v in sweep.items()},
+        zip_axes=zip_axes,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    params=st.dictionaries(st.sampled_from(["p", "q"]), st.integers(), max_size=2),
+    sweep=sweep_tables,
+    zip_shape=zip_shapes,
+)
+def test_expand_grid_is_exactly_the_cartesian_product(params, sweep, zip_shape):
+    zip_names, zip_len = zip_shape
+    spec = make_spec(params, sweep, zip_names, zip_len)
+    points = expand_grid(spec)
+
+    # Reference expansion: product over sweep axes in declaration order,
+    # rightmost fastest, with the zip block as one trailing composite axis.
+    # Every axis entry is a tuple of (name, value) pairs.
+    axes = [
+        [((name, value),) for value in values] for name, values in sweep.items()
+    ]
+    if spec.zip_axes:
+        axes.append(
+            [
+                tuple((name, values[i]) for name, values in spec.zip_axes.items())
+                for i in range(zip_len)
+            ]
+        )
+    expected = []
+    for combo in itertools.product(*axes):
+        point = dict(params)
+        for part in combo:
+            point.update(dict(part))
+        expected.append(point)
+
+    assert points == expected  # same dicts, same ORDER — order-stable
+    assert len(points) == spec.n_points
+    assert expand_grid(spec) == points  # deterministic across calls
+    # every point carries the fixed params and every axis name exactly once
+    for point in points:
+        assert set(point) == set(params) | set(sweep) | set(spec.zip_axes)
+        for key, value in params.items():
+            assert point[key] == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(sweep=sweep_tables, zip_shape=zip_shapes)
+def test_expand_grid_point_ids_unique_when_values_distinct(sweep, zip_shape):
+    zip_names, zip_len = zip_shape
+    spec = make_spec({}, sweep, zip_names, zip_len)
+    points = expand_grid(spec)
+    # axis values are unique per axis, so grid points are pairwise distinct
+    ids = [point_id(p) for p in points]
+    assert len(set(ids)) == len(ids)
+
+
+def test_zip_axis_varies_fastest():
+    spec = CampaignSpec(
+        name="order",
+        builder="nav_pairs",
+        seeds=(1,),
+        duration_s=1.0,
+        sweep={"s": [0, 1]},
+        zip_axes={"z": [10, 20]},
+    )
+    assert expand_grid(spec) == [
+        {"s": 0, "z": 10},
+        {"s": 0, "z": 20},
+        {"s": 1, "z": 10},
+        {"s": 1, "z": 20},
+    ]
+
+
+def test_no_axes_yields_single_point():
+    spec = CampaignSpec(
+        name="single", builder="nav_pairs", seeds=(1,), duration_s=1.0,
+        params={"transport": "udp"},
+    )
+    assert expand_grid(spec) == [{"transport": "udp"}]
+    assert spec.n_points == 1
+
+
+# ------------------------------------------------------------ example files --
+
+
+@needs_tomllib
+@pytest.mark.parametrize(
+    "name, n_full, n_quick",
+    [
+        ("fig1_nav_udp.toml", 10, 5),
+        ("fig8_nav_ngr.toml", 9, 3),
+        ("nav_ber_grc_grid.toml", 18, 8),
+    ],
+)
+def test_example_specs_load_in_both_modes(name, n_full, n_quick):
+    path = EXAMPLES / name
+    full = load_spec(path)
+    quick = load_spec(path, quick=True)
+    assert full.n_points == n_full
+    assert quick.n_points == n_quick
+    assert full.builder == quick.builder
+    assert full.builder in builder_names()
+    assert spec_hash(full) != spec_hash(quick)
+
+
+@needs_tomllib
+def test_load_spec_missing_file():
+    with pytest.raises(SpecError, match="not found"):
+        load_spec(EXAMPLES / "does_not_exist.toml")
+
+
+@needs_tomllib
+def test_load_spec_invalid_toml(tmp_path):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[campaign\nname=")
+    with pytest.raises(SpecError, match="invalid TOML"):
+        load_spec(bad)

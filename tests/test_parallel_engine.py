@@ -140,3 +140,15 @@ def test_jobspec_roundtrips_through_its_path():
 def test_jobspec_requires_seed_to_run():
     with pytest.raises(ValueError, match="no seed"):
         seed_job(run_nav_pairs, duration_s=0.1).run()
+
+
+def test_jobspec_rejects_opaque_kwargs_at_construction():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="'phy'.*not cache-key stable"):
+        JobSpec.of(runner_path(run_nav_pairs), duration_s=0.1, phy=Opaque())
+    with pytest.raises(TypeError, match="'phy'"):
+        seed_job(run_nav_pairs, duration_s=0.1, phy=Opaque())
+    # plain data (including nested containers) is still fine
+    seed_job(run_nav_pairs, duration_s=0.1, inflate_frames=("CTS", "ACK"))

@@ -1,0 +1,94 @@
+"""Seed isolation: a simulator draws only from its own ``RngStreams``.
+
+Every stochastic decision (MAC backoff slots, per-flow jitter, error-model
+coin flips) must flow through the per-scenario seeded streams — never the
+global ``random`` module.  If that invariant holds, then (a) interleaving
+the construction and execution of two simulators cannot perturb either
+one's results, and (b) reseeding or draining the global RNG between steps
+changes nothing.  ``repro.mac.dcf`` points here from its ``import random``
+audit note.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+
+NODES = ("NS", "GS", "NR", "GR")
+DURATION_S = 0.3
+
+
+def build(seed: int, *, perturb=None) -> Scenario:
+    """One two-pair hotspot with a NAV-inflating GR, optionally calling
+    ``perturb()`` (global-RNG noise) between every construction step."""
+    tick = perturb if perturb is not None else lambda: None
+    s = Scenario(seed=seed)
+    tick()
+    greedy = GreedyConfig.nav_inflator(10_000.0, frozenset({FrameKind.CTS}))
+    for name in NODES:
+        s.add_wireless_node(name, greedy=greedy if name == "GR" else None)
+        tick()
+    for src, dst in (("NS", "NR"), ("GS", "GR")):
+        flow, _sink = s.udp_flow(src, dst)
+        tick()
+        flow.start()
+        tick()
+    return s
+
+
+def mac_stats(s: Scenario) -> dict[str, dict]:
+    return {
+        name: dataclasses.asdict(s.nodes[name].mac.stats) for name in NODES
+    }
+
+
+def test_interleaved_construction_is_bit_identical():
+    """Two equal-seed simulators built and run in lockstep agree exactly."""
+    a = Scenario(seed=42)
+    b = Scenario(seed=42)
+    greedy = GreedyConfig.nav_inflator(10_000.0, frozenset({FrameKind.CTS}))
+    # interleave every construction step of the two simulators
+    for name in NODES:
+        a.add_wireless_node(name, greedy=greedy if name == "GR" else None)
+        b.add_wireless_node(name, greedy=greedy if name == "GR" else None)
+    flows = []
+    for src, dst in (("NS", "NR"), ("GS", "GR")):
+        fa, _ = a.udp_flow(src, dst)
+        fb, _ = b.udp_flow(src, dst)
+        flows += [fa, fb]
+    for flow in flows:
+        flow.start()
+    a.run(DURATION_S)
+    b.run(DURATION_S)
+    assert mac_stats(a) == mac_stats(b)
+
+
+def test_global_random_state_cannot_perturb_a_run():
+    """Reference run vs. a run with global-RNG noise injected everywhere."""
+    reference = build(7)
+    reference.run(DURATION_S)
+
+    random.seed(123456)
+    noisy = build(7, perturb=lambda: random.random())
+    random.seed(654321)  # reseed again right before execution
+    noisy.run(DURATION_S)
+
+    assert mac_stats(reference) == mac_stats(noisy)
+    # the run also produced actual traffic, so the comparison is meaningful
+    assert any(
+        stats["msdu_sent"] > 0 for stats in mac_stats(reference).values()
+    )
+
+
+def test_distinct_seeds_actually_differ():
+    """Guard against the trivial pass where stats are identical because the
+    scenario is deterministic regardless of seed."""
+    a = build(1)
+    a.run(DURATION_S)
+    b = build(2)
+    b.run(DURATION_S)
+    assert mac_stats(a) != mac_stats(b)

@@ -146,3 +146,20 @@ def test_sparkline():
     assert line[-1] == "@"
     # Downsampling keeps the requested width.
     assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+def test_to_jsonl_roundtrip(tmp_path):
+    import json
+
+    s, tracer, _sinks = traced_scenario()
+    s.run(0.2)
+    assert tracer.records
+    path = tmp_path / "sub" / "trace.jsonl"  # parent dir is created on demand
+    written = tracer.to_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert written == len(lines) == len(tracer.records)
+    for line, record in zip(lines, tracer.records):
+        assert json.loads(line) == record.to_dict()
+
+    assert tracer.to_jsonl(path, limit=3) == 3
+    assert len(path.read_text().splitlines()) == 3
