@@ -141,6 +141,69 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------- perf -----
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.perf import (
+        REGRESSION_FACTOR,
+        attach_speedup,
+        check_regression,
+        load_bench,
+        run_benchmark,
+        scenario_names,
+        validate_bench,
+        write_bench,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    baseline = None
+    baseline_path = args.check_regression or args.compare
+    if baseline_path:
+        try:
+            baseline = load_bench(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+    try:
+        bench = run_benchmark(
+            names=args.scenarios or None,
+            seed=args.seed,
+            repeats=args.repeats,
+            duration_s=args.duration,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if baseline is not None:
+        bench = attach_speedup(bench, baseline)
+    problems = validate_bench(bench)
+    if problems:
+        for problem in problems:
+            print(f"invalid benchmark: {problem}", file=sys.stderr)
+        return 2
+    if args.output:
+        write_bench(args.output, bench)
+        print(f"wrote {args.output}")
+    else:
+        print(_json.dumps(bench, indent=2, sort_keys=True))
+    if args.check_regression:
+        factor = args.factor if args.factor is not None else REGRESSION_FACTOR
+        failures = check_regression(bench, baseline, factor=factor)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check_regression}", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------- campaigns -----
 
 
@@ -372,6 +435,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_creport.add_argument("-o", "--output", help="write the report to a file")
     p_creport.set_defaults(func=_cmd_campaign_report)
+
+    p_perf = sub.add_parser(
+        "perf", help="microbenchmark the simulation core (BENCH_core.json)"
+    )
+    p_perf.add_argument(
+        "scenarios", nargs="*", help="scenario names to time (default: all)"
+    )
+    p_perf.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    p_perf.add_argument("--seed", type=int, default=1)
+    p_perf.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats; wall_s is the minimum"
+    )
+    p_perf.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override simulated seconds per scenario (smoke tests use e.g. 0.05)",
+    )
+    p_perf.add_argument(
+        "-o", "--output", help="write the BENCH_core document here (default: stdout)"
+    )
+    p_perf.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="attach a speedup section versus this reference document",
+    )
+    p_perf.add_argument(
+        "--check-regression",
+        metavar="BASELINE",
+        help="exit 1 when any scenario is more than FACTOR x slower than BASELINE",
+    )
+    p_perf.add_argument(
+        "--factor",
+        type=float,
+        default=None,
+        help="regression threshold for --check-regression (default 2.0)",
+    )
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_demo = sub.add_parser("demo", help="run a misbehavior demo")
     p_demo.add_argument("kind", choices=["nav", "spoof", "fake"])

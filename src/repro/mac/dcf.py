@@ -124,6 +124,18 @@ class DcfMac:
 
         self.stats = MacStats()
 
+        # Hot-path timing constants, resolved once: these are pure float
+        # arithmetic on the frozen PhyParams, so hoisting them out of the
+        # per-frame path is bit-exact (tests/test_mac_timing.py and the
+        # golden traces pin the values).
+        self._difs = phy.difs
+        self._eifs = phy.eifs
+        self._slot_time = phy.slot_time
+        self._sifs = phy.sifs
+        self._cts_timeout_us = phy.cts_timeout()
+        self._ack_timeout_us = phy.ack_timeout()
+        self._randrange = rng.randrange  # randint(0, cw) == randrange(cw + 1)
+
         self._queue: deque[_Msdu] = deque()
         self._state = IDLE
         self.cw = self.cw_min
@@ -171,7 +183,11 @@ class DcfMac:
     # -------------------------------------------------------- carrier sense --
 
     def _medium_idle(self) -> bool:
-        return not self.radio.carrier_busy and self.sim.now >= self.nav_until
+        radio = self.radio  # inline of radio.carrier_busy (hot path)
+        return (
+            not (radio.transmitting or radio._energy)
+            and self.sim.now >= self.nav_until
+        )
 
     def phy_busy(self) -> None:
         """Radio reports energy on the channel: freeze any countdown."""
@@ -202,11 +218,11 @@ class DcfMac:
         if not self._medium_idle():
             return
         if self._backoff_slots is None:
-            self._backoff_slots = self.rng.randint(0, self.cw)
-        ifs = self.phy.eifs if self._use_eifs else self.phy.difs
+            self._backoff_slots = self._randrange(self.cw + 1)
+        ifs = self._eifs if self._use_eifs else self._difs
         self._access_start = self.sim.now
         self._access_ifs = ifs
-        delay = ifs + self._backoff_slots * self.phy.slot_time
+        delay = ifs + self._backoff_slots * self._slot_time
         self._access_event = self.sim.schedule(delay, self._access_granted)
 
     def _freeze_access(self) -> None:
@@ -214,7 +230,7 @@ class DcfMac:
             return
         elapsed = self.sim.now - self._access_start
         if elapsed > self._access_ifs:
-            consumed = int((elapsed - self._access_ifs) // self.phy.slot_time)
+            consumed = int((elapsed - self._access_ifs) // self._slot_time)
             assert self._backoff_slots is not None
             self._backoff_slots = max(0, self._backoff_slots - consumed)
         self.sim.cancel(self._access_event)
@@ -280,11 +296,11 @@ class DcfMac:
         self._last_tx_kind = None
         if kind is FrameKind.RTS and self._state == WAIT_CTS:
             self._timeout_event = self.sim.schedule(
-                self.phy.cts_timeout(), self._cts_timeout
+                self._cts_timeout_us, self._cts_timeout
             )
         elif kind is FrameKind.DATA and self._state == WAIT_ACK:
             self._timeout_event = self.sim.schedule(
-                self.phy.ack_timeout(), self._ack_timeout
+                self._ack_timeout_us, self._ack_timeout
             )
 
     # ------------------------------------------------------------ timeouts ---
@@ -403,7 +419,9 @@ class DcfMac:
             if self._state == WAIT_CTS:
                 self._cancel_timeout()
                 self._state = SEND_DATA
-                self.sim.schedule(self.phy.sifs, self._data_after_cts)
+                # Never cancelled (the state guard in _data_after_cts handles
+                # interruptions), so the fire-and-forget fast path applies.
+                self.sim.call_after(self._sifs, self._data_after_cts)
             return
         if kind is FrameKind.ACK:
             if self._state != WAIT_ACK:
@@ -458,7 +476,10 @@ class DcfMac:
         return ack
 
     def _schedule_response(self, frame: Frame) -> None:
-        self.sim.schedule(self.phy.sifs, self._send_response, frame)
+        # SIFS responses are never cancelled once queued (half-duplex
+        # conflicts are resolved inside _send_response), so skip the
+        # cancellable-Event allocation.
+        self.sim.call_after(self._sifs, self._send_response, frame)
 
     def _send_response(self, frame: Frame) -> None:
         if self.radio.transmitting:

@@ -1,0 +1,167 @@
+"""Canonical scenarios for the core microbenchmark and golden-trace suite.
+
+Each :class:`PerfScenario` assembles one of the paper's hotspot topologies
+*without running it*, so the harness can time exactly the event loop
+(:meth:`repro.sim.engine.Simulator.run`) and the golden-trace capture can
+attach a :class:`repro.stats.trace.FrameTracer` before the first frame flies.
+
+The three registered scenarios bracket the simulator's hot paths:
+
+* ``fig1_nav_udp`` — the paper's headline NAV-inflation point (two saturated
+  UDP pairs, 802.11b, greedy receiver inflating CTS NAV by 600 us): RTS/CTS
+  exchanges, NAV timers, saturated backoff.
+* ``fig8_nav_tcp`` — one Figure 8 sweep point (two TCP pairs, 10 ms CTS NAV
+  inflation): TCP timers and ACK-clocked traffic on top of DCF.
+* ``spoof_tcp`` — the Figure 11 operating point (BER 2e-4, spoofing
+  geometry): positioned nodes, capture resolution, per-frame error rolls and
+  spoofed-ACK responses.
+
+Scenario construction is deterministic for a fixed seed (named RNG
+substreams), which is what makes byte-for-byte trace comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+from repro.phy.error import set_ber_all_pairs
+
+US_PER_S = 1_000_000.0
+
+#: ``build(seed) -> (scenario, metrics)`` where ``metrics(duration_us)``
+#: reads the per-flow goodputs after the run.
+Builder = Callable[[int], "BuiltScenario"]
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """A ready-to-run scenario plus its metric reader."""
+
+    scenario: Scenario
+    metrics: Callable[[float], Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One registered microbenchmark scenario."""
+
+    name: str
+    description: str
+    duration_s: float  # default simulated seconds for timing runs
+    build: Builder
+
+
+SCENARIOS: dict[str, PerfScenario] = {}
+
+
+def _register(name: str, description: str, duration_s: float):
+    def wrap(fn: Builder) -> Builder:
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate perf scenario {name!r}")
+        SCENARIOS[name] = PerfScenario(name, description, duration_s, fn)
+        return fn
+
+    return wrap
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> PerfScenario:
+    """Look a scenario up by name; raises a readable ``KeyError``."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown perf scenario {name!r}; known scenarios: {scenario_names()}"
+        )
+    return scenario
+
+
+@_register(
+    "fig1_nav_udp",
+    "two saturated UDP pairs, GR inflates CTS NAV by 600 us (Figure 1)",
+    duration_s=2.0,
+)
+def _fig1_nav_udp(seed: int) -> BuiltScenario:
+    s = Scenario(seed=seed)
+    s.add_wireless_node("S0")
+    s.add_wireless_node("S1")
+    s.add_wireless_node("R0")
+    s.add_wireless_node(
+        "R1", greedy=GreedyConfig.nav_inflator(600.0, frozenset({FrameKind.CTS}))
+    )
+    src0, sink0 = s.udp_flow("S0", "R0")
+    src1, sink1 = s.udp_flow("S1", "R1")
+    src0.start()
+    src1.start()
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        return {
+            "goodput_R0": sink0.goodput_mbps(duration_us),
+            "goodput_R1": sink1.goodput_mbps(duration_us),
+        }
+
+    return BuiltScenario(s, metrics)
+
+
+@_register(
+    "fig8_nav_tcp",
+    "two TCP pairs, GR inflates CTS NAV by 10 ms (one Figure 8 sweep point)",
+    duration_s=2.0,
+)
+def _fig8_nav_tcp(seed: int) -> BuiltScenario:
+    s = Scenario(seed=seed)
+    s.add_wireless_node("S0")
+    s.add_wireless_node("S1")
+    s.add_wireless_node("R0")
+    s.add_wireless_node(
+        "R1", greedy=GreedyConfig.nav_inflator(10_000.0, frozenset({FrameKind.CTS}))
+    )
+    snd0, rcv0 = s.tcp_flow("S0", "R0")
+    snd1, rcv1 = s.tcp_flow("S1", "R1")
+    snd0.start()
+    snd1.start()
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        return {
+            "goodput_R0": rcv0.goodput_mbps(duration_us),
+            "goodput_R1": rcv1.goodput_mbps(duration_us),
+        }
+
+    return BuiltScenario(s, metrics)
+
+
+@_register(
+    "spoof_tcp",
+    "two TCP pairs at BER 2e-4, GR spoofs MAC ACKs for NR (Figure 11 peak)",
+    duration_s=2.0,
+)
+def _spoof_tcp(seed: int) -> BuiltScenario:
+    s = Scenario(seed=seed)
+    s.add_wireless_node("S0", position=(0.0, 0.0))
+    s.add_wireless_node("S1", position=(0.5, 0.0))
+    s.add_wireless_node("R0", position=(10.0, 0.0))
+    s.add_wireless_node(
+        "R1",
+        position=(30.0, 0.0),
+        greedy=GreedyConfig.ack_spoofer(victims=frozenset({"R0"})),
+    )
+    set_ber_all_pairs(s.error_model, ["S0", "S1", "R0", "R1"], 2e-4)
+    snd0, rcv0 = s.tcp_flow("S0", "R0")
+    snd1, rcv1 = s.tcp_flow("S1", "R1")
+    snd0.start()
+    snd1.start()
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        return {
+            "goodput_R0": rcv0.goodput_mbps(duration_us),
+            "goodput_R1": rcv1.goodput_mbps(duration_us),
+        }
+
+    return BuiltScenario(s, metrics)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 #: PLCP preamble + header expressed in the byte-units of ns-2's error model
 #: (192 us at 1 Mbps = 24 bytes for 802.11b long preamble).
@@ -24,12 +25,28 @@ def frame_error_rate(ber: float, size_bytes: int, plcp_bytes: int = PLCP_BYTES) 
 
     ``ber`` is the paper's error rate (applied per byte-unit, see module
     docstring); reproduces the paper's Table III for the standard frames.
+    Memoized: a scenario uses a handful of (BER, size) pairs but rolls them
+    per frame, so the ``pow`` is looked up, not recomputed (the closed form
+    is :func:`frame_error_rate_formula`, pinned to the cache by
+    ``tests/test_phy_error.py``).
     """
     if ber < 0 or ber > 1:
         raise ValueError(f"BER must be in [0, 1], got {ber}")
     if size_bytes < 0:
         raise ValueError(f"frame size must be non-negative, got {size_bytes}")
+    return _fer_cached(ber, size_bytes, plcp_bytes)
+
+
+def frame_error_rate_formula(
+    ber: float, size_bytes: int, plcp_bytes: int = PLCP_BYTES
+) -> float:
+    """The uncached closed form — the reference the lookup table must match."""
     return 1.0 - (1.0 - ber) ** (size_bytes + plcp_bytes)
+
+
+@lru_cache(maxsize=4096)
+def _fer_cached(ber: float, size_bytes: int, plcp_bytes: int) -> float:
+    return frame_error_rate_formula(ber, size_bytes, plcp_bytes)
 
 
 @dataclass
@@ -93,6 +110,18 @@ class BitErrorModel:
             if rate is None and profile:
                 return profile[min(profile)]  # basic-rate control frames
         return self._link_ber.get((src, dst), self.default_ber)
+
+    @property
+    def trivial(self) -> bool:
+        """True when no link can ever corrupt a frame (no RNG draw needed).
+
+        The clean-channel fast path: NAV-inflation scenarios configure no
+        error model at all, so the per-frame corruption roll reduces to this
+        four-attribute check instead of table lookups plus a FER evaluation.
+        """
+        return not (
+            self._link_fer or self._link_ber or self._rate_ber or self.default_ber
+        )
 
     def is_corrupted(
         self,

@@ -28,6 +28,7 @@ from repro.phy.propagation import (
     rss_to_db,
 )
 from repro.sim.engine import Simulator
+from repro.sim.rng import BatchedUniform
 
 #: Table I of the paper: fraction of corrupted frames whose destination MAC
 #: address survives, and — among those — whose source address also survives.
@@ -100,7 +101,8 @@ class Radio:
         return self.transmitting or bool(self._energy)
 
     def _notify_if_transition(self, was_busy: bool) -> None:
-        now_busy = self.carrier_busy
+        # Inline of ``carrier_busy`` — this runs once per frame per radio.
+        now_busy = self.transmitting or bool(self._energy)
         if self.mac is None or was_busy == now_busy:
             return
         if now_busy:
@@ -111,7 +113,7 @@ class Radio:
     # -- medium callbacks ----------------------------------------------------
 
     def _on_tx_start(self, tx: _Transmission, rss: float, decodable: bool) -> None:
-        was_busy = self.carrier_busy
+        was_busy = self.transmitting or bool(self._energy)
         self._energy.add(tx)
         if not self.transmitting and decodable:
             if self._lock is None:
@@ -123,7 +125,10 @@ class Radio:
             # unless the locked signal captures it.
             if not self.medium._captures(self._lock.rss, rss):
                 self._lock.collided = True
-        self._notify_if_transition(was_busy)
+        # Inline notify: energy was just added, so the carrier is now busy —
+        # a transition happened exactly when it was idle before.
+        if not was_busy and self.mac is not None:
+            self.mac.phy_busy()
 
     def _resolve_overlap(self, tx: _Transmission, rss: float) -> None:
         lock = self._lock
@@ -136,26 +141,29 @@ class Radio:
         lock.collided = True  # comparable power: garbles the locked frame
 
     def _on_tx_end(self, tx: _Transmission, rss: float) -> None:
-        was_busy = self.carrier_busy
+        was_busy = self.transmitting or bool(self._energy)
         self._energy.discard(tx)
         lock = self._lock
         if lock is not None and lock.tx is tx:
             self._lock = None
-            self._deliver(tx, lock)
-        self._notify_if_transition(was_busy)
-
-    def _deliver(self, tx: _Transmission, lock: _Lock) -> None:
-        self.medium._deliver(tx, self, lock)
+            self.medium._deliver(tx, self, lock)
+        # Inline of _notify_if_transition (runs once per frame per radio).
+        now_busy = self.transmitting or bool(self._energy)
+        if was_busy != now_busy and self.mac is not None:
+            if now_busy:
+                self.mac.phy_busy()
+            else:
+                self.mac.phy_idle()
 
     def _begin_transmit(self, end_time: float) -> None:
-        was_busy = self.carrier_busy
+        was_busy = self.transmitting or bool(self._energy)
         self.transmitting = True
         self._tx_end_time = end_time
         self._lock = None  # half duplex: any reception in progress is lost
         self._notify_if_transition(was_busy)
 
     def _end_transmit(self) -> None:
-        was_busy = self.carrier_busy
+        was_busy = True  # we were transmitting until this instant
         self.transmitting = False
         self._notify_if_transition(was_busy)
         if self.mac is not None:
@@ -192,6 +200,19 @@ class Medium:
         self.addr_dst_survival = p_dst
         self.addr_src_survival = p_src
         self.frames_sent = 0
+        # Batched uniform draws for the corruption / address-survival rolls.
+        # When a jitter callable shares the stream (it draws Gaussians
+        # directly from ``rng``), fall back to draw-on-demand (batch=1) so
+        # the interleaving of uniform and Gaussian draws is untouched.
+        self._uniform = BatchedUniform(rng, batch=256 if rssi_jitter is None else 1)
+        # sender -> [(receiver, rss, propagation delay in us), ...] for every
+        # other radio, in attach order.  Positions and the path-loss model are
+        # fixed once traffic starts, so the per-frame geometry math is
+        # computed once per sender (thresholds stay per-frame comparisons:
+        # they may be reconfigured at any time via ``configure_ranges``).
+        self._reach: dict[Radio, list[tuple[Radio, float, float]]] = {}
+        # rss (linear) -> dB, memoized: each link contributes one value.
+        self._rss_db: dict[float, float] = {}
 
     # -- topology ------------------------------------------------------------
 
@@ -199,6 +220,7 @@ class Medium:
         if any(r.name == radio.name for r in self.radios):
             raise ValueError(f"duplicate radio name: {radio.name}")
         self.radios.append(radio)
+        self._reach.clear()  # topology changed: recompute link geometry
 
     def configure_ranges(
         self, comm_range_m: float, interference_range_m: float, tx_power: float = 1.0
@@ -227,50 +249,65 @@ class Medium:
 
     # -- transmission ----------------------------------------------------------
 
+    def _reach_from(self, sender: Radio) -> list[tuple[Radio, float, float]]:
+        """Cached (receiver, rss, propagation delay) list for ``sender``."""
+        reach = self._reach.get(sender)
+        if reach is None:
+            rss_fn = self.pathloss.rss
+            tx_power = sender.tx_power
+            reach = []
+            for receiver in self.radios:
+                if receiver is sender:
+                    continue
+                d = distance(sender.position, receiver.position)
+                delay = d / SPEED_OF_LIGHT_M_PER_US if self.propagation_delay else 0.0
+                reach.append((receiver, rss_fn(tx_power, d), delay))
+            self._reach[sender] = reach
+        return reach
+
     def transmit(self, sender: Radio, frame: Any, duration: float) -> None:
         """Broadcast ``frame`` from ``sender`` for ``duration`` microseconds."""
         if sender.transmitting:
             raise RuntimeError(f"{sender.name}: already transmitting")
         if duration <= 0:
             raise ValueError(f"non-positive airtime: {duration}")
-        now = self.sim.now
-        tx = _Transmission(sender, frame, now, now + duration)
+        sim = self.sim
+        tx = _Transmission(sender, frame, sim.now, sim.now + duration)
         self.frames_sent += 1
         sender._begin_transmit(tx.end)
-        self.sim.schedule(duration, sender._end_transmit)
-        for receiver in self.radios:
-            if receiver is sender:
-                continue
-            rss = self.rss_between(sender, receiver)
-            if rss < self.cs_threshold:
+        call_after = sim.call_after
+        call_after(duration, sender._end_transmit)
+        cs_threshold = self.cs_threshold
+        rx_threshold = self.rx_threshold
+        for receiver, rss, delay in self._reach_from(sender):
+            if rss < cs_threshold:
                 continue  # out of interference range: hears nothing
-            decodable = rss >= self.rx_threshold
-            delay = 0.0
-            if self.propagation_delay:
-                d = distance(sender.position, receiver.position)
-                delay = d / SPEED_OF_LIGHT_M_PER_US
-            self.sim.schedule(delay, receiver._on_tx_start, tx, rss, decodable)
-            self.sim.schedule(duration + delay, receiver._on_tx_end, tx, rss)
+            call_after(delay, receiver._on_tx_start, tx, rss, rss >= rx_threshold)
+            call_after(duration + delay, receiver._on_tx_end, tx, rss)
 
     def _deliver(self, tx: _Transmission, receiver: Radio, lock: _Lock) -> None:
         frame = tx.frame
         corrupted = lock.collided
-        if not corrupted:
+        if not corrupted and not self.error_model.trivial:
             corrupted = self.error_model.is_corrupted(
                 tx.sender.name,
                 receiver.name,
                 frame.size_bytes,
                 frame.kind.name == "DATA",
-                self.rng,
+                self._uniform,
                 rate=getattr(frame, "rate", None),
             )
         addr_ok = True
         if corrupted:
+            uniform = self._uniform
             addr_ok = (
-                self.rng.random() < self.addr_dst_survival
-                and self.rng.random() < self.addr_src_survival
+                uniform.random() < self.addr_dst_survival
+                and uniform.random() < self.addr_src_survival
             )
-        rssi_db = rss_to_db(lock.rss)
+        rss = lock.rss
+        rssi_db = self._rss_db.get(rss)
+        if rssi_db is None:
+            rssi_db = self._rss_db[rss] = rss_to_db(rss)
         if self.rssi_jitter is not None:
             rssi_db += self.rssi_jitter(self.rng)
         if receiver.mac is not None:

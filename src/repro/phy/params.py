@@ -6,12 +6,21 @@ Two parameter sets are provided, matching the paper's evaluation:
 * :func:`dot11a` — 802.11a OFDM, 6 Mbps data rate.
 
 Durations are in microseconds throughout.
+
+Airtime is pure arithmetic on frozen parameters, so the hot accessors are
+lookup tables rather than per-frame recomputation: derived interframe spaces
+and control-frame airtimes are computed once per :class:`PhyParams` instance
+(``functools.cached_property``), and :meth:`PhyParams.airtime` memoizes per
+``(size, rate)`` — the exact closed form lives in :func:`airtime_formula`,
+and ``tests/test_phy_params.py`` pins table and formula to each other across
+the full rate x size domain, so the fast path cannot drift.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 
 #: Maximum value of the MAC duration (NAV) field, per IEEE 802.11 (Section IV-A
 #: of the paper: greedy receivers can inflate NAV up to this many microseconds).
@@ -22,6 +31,27 @@ RTS_SIZE = 20
 CTS_SIZE = 14
 ACK_SIZE = 14
 DATA_HEADER_SIZE = 28  # 24-byte MAC header + 4-byte FCS
+
+
+def airtime_formula(
+    size_bytes: int,
+    rate: float,
+    preamble: float,
+    ofdm: bool,
+    ofdm_bits_per_symbol: int,
+) -> float:
+    """Closed-form frame airtime in us — the reference the tables must match.
+
+    For OFDM PHYs the payload is padded to whole 4 us symbols including the
+    16-bit SERVICE field and 6 tail bits, per 802.11a.
+    """
+    bits = 8 * size_bytes
+    if ofdm:
+        # Bits per symbol scales linearly with the rate relative to 6 Mbps.
+        bits_per_symbol = ofdm_bits_per_symbol * (rate / 6.0)
+        symbols = math.ceil((16 + 6 + bits) / bits_per_symbol)
+        return preamble + 4.0 * symbols
+    return preamble + bits / rate
 
 
 @dataclass(frozen=True)
@@ -42,12 +72,12 @@ class PhyParams:
     long_retry_limit: int = 4
     capture_threshold: float = 10.0  # linear power ratio needed for capture
 
-    @property
+    @cached_property
     def difs(self) -> float:
         """DIFS = SIFS + 2 x slot."""
         return self.sifs + 2 * self.slot_time
 
-    @property
+    @cached_property
     def eifs(self) -> float:
         """EIFS = SIFS + ACK airtime at the basic rate + DIFS."""
         return self.sifs + self.ack_time + self.difs
@@ -55,30 +85,34 @@ class PhyParams:
     def airtime(self, size_bytes: int, rate: float | None = None) -> float:
         """Airtime in us of a frame of ``size_bytes`` at ``rate`` (Mbps).
 
-        For OFDM PHYs the payload is padded to whole 4 us symbols including
-        the 16-bit SERVICE field and 6 tail bits, per 802.11a.
+        Memoized per ``(size, rate)``; bit-identical to
+        :func:`airtime_formula` (which also documents the OFDM padding).
         """
         if rate is None:
             rate = self.data_rate
-        bits = 8 * size_bytes
-        if self.ofdm:
-            # Bits per symbol scales linearly with the rate relative to 6 Mbps.
-            bits_per_symbol = self.ofdm_bits_per_symbol * (rate / 6.0)
-            symbols = math.ceil((16 + 6 + bits) / bits_per_symbol)
-            return self.preamble + 4.0 * symbols
-        return self.preamble + bits / rate
+        table = self.__dict__.get("_airtime_table")
+        if table is None:
+            table = {}
+            self.__dict__["_airtime_table"] = table
+        key = (size_bytes, rate)
+        value = table.get(key)
+        if value is None:
+            value = table[key] = airtime_formula(
+                size_bytes, rate, self.preamble, self.ofdm, self.ofdm_bits_per_symbol
+            )
+        return value
 
-    @property
+    @cached_property
     def rts_time(self) -> float:
         """Airtime of an RTS frame at the basic rate."""
         return self.airtime(RTS_SIZE, self.basic_rate)
 
-    @property
+    @cached_property
     def cts_time(self) -> float:
         """Airtime of a CTS frame at the basic rate."""
         return self.airtime(CTS_SIZE, self.basic_rate)
 
-    @property
+    @cached_property
     def ack_time(self) -> float:
         """Airtime of a MAC ACK frame at the basic rate."""
         return self.airtime(ACK_SIZE, self.basic_rate)
@@ -94,6 +128,20 @@ class PhyParams:
     def ack_timeout(self) -> float:
         """How long a data sender waits for the MAC ACK."""
         return self.sifs + self.ack_time + self.slot_time + 2.0
+
+    def __getstate__(self):
+        """Pickle only the declared fields, never the memo tables.
+
+        Keeps worker-process job payloads (PR 1 fan-out) small and ensures a
+        cache entry can never smuggle stale derived values across a code
+        change.
+        """
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 def dot11b(data_rate_mbps: float = 11.0) -> PhyParams:

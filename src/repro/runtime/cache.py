@@ -23,6 +23,12 @@ from repro.runtime.jobspec import JobSpec
 #: Default cache location, relative to the repository's results directory.
 DEFAULT_CACHE_DIRNAME = ".cache"
 
+#: Manual cache-epoch fence, mixed into :func:`code_version_token`.  Bump it
+#: whenever results must be recomputed for a reason the source digest cannot
+#: see — e.g. the simulation-core fast path, which is bit-exact for equal
+#: seeds but changed which module computes each cached quantity.
+CODE_VERSION_SALT = "core-fastpath-1"
+
 
 @lru_cache(maxsize=1)
 def code_version_token() -> str:
@@ -30,12 +36,15 @@ def code_version_token() -> str:
 
     Any edit anywhere in the package changes the token, so stale results can
     never be served after a code change.  Coarse but safe — and cheap enough
-    to compute once per process.
+    to compute once per process.  ``CODE_VERSION_SALT`` is folded in first,
+    so an epoch bump invalidates every entry even with identical sources.
     """
     import repro
 
     root = Path(repro.__file__).resolve().parent
     digest = hashlib.sha256()
+    digest.update(CODE_VERSION_SALT.encode())
+    digest.update(b"\0")
     for path in sorted(root.rglob("*.py")):
         digest.update(path.relative_to(root).as_posix().encode())
         digest.update(b"\0")

@@ -2,36 +2,78 @@
 
 Time is a float number of microseconds.  All subsystems (PHY, MAC, transport)
 schedule callbacks on one shared :class:`Simulator` instance.
+
+Fast-path design (bit-identical to the original implementation — the golden
+trace suite in ``tests/test_golden_traces.py`` holds this down):
+
+* The heap stores plain ``(time, seq, payload)`` tuples, never objects with
+  a Python-level ``__lt__``.  ``seq`` is a unique monotonically increasing
+  integer, so tuple comparison is decided entirely inside C on the first two
+  elements — the ``payload`` is never compared.  Event ordering is therefore
+  the exact total order ``(time, seq)`` the original ``Event.__lt__`` used.
+* Cancellation is O(1) via **generation counters**: every :class:`Event`
+  handle carries a generation, the heap entry records the generation it was
+  scheduled with, and a popped entry fires only when the two still match.
+  Cancelling (or firing) bumps the handle's generation, so stale entries —
+  including a timer cancelled and re-armed within the same tick — are
+  skipped without ever scanning the heap.
+* :attr:`Simulator.pending_events` is a maintained counter, not an O(n)
+  sweep over the heap (the old sweep was hot in cancel-heavy ``testbed/``
+  emulation runs, where NAV timers are re-armed on nearly every overheard
+  frame).
+* Dead entries left behind by cancellations are compacted away once they
+  outnumber live ones (amortized O(1) per cancellation), so cancel/re-arm
+  storms cannot degrade ``heappush``/``heappop`` to log of garbage.
+* Fire-and-forget callbacks — the overwhelming majority: frame arrivals,
+  transmit-end notifications, SIFS responses — can skip the handle
+  allocation entirely via :meth:`Simulator.call_after` / :meth:`call_at`;
+  their payload is a bare ``(fn, args)`` tuple.
 """
 
 from __future__ import annotations
 
 import heapq
-import math
+from heapq import heappush
 from typing import Any, Callable
+
+_INF = float("inf")
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable handle for a scheduled callback.
 
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at` and may be cancelled with
     :meth:`Simulator.cancel` (or :meth:`cancel` on the event itself).
-    Cancelled events stay in the heap but are skipped when popped.
+    Cancellation is O(1): it bumps :attr:`gen`, orphaning the heap entry that
+    was scheduled under the previous generation.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "gen", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator",
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
+        self.gen = 0  # generation the live heap entry was scheduled with
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event so that it never fires."""
+        if self.fn is not None and not self.cancelled:
+            self._sim._live -= 1
+            self._sim._maybe_compact()
         self.cancelled = True
+        self.gen += 1
 
     @property
     def pending(self) -> bool:
@@ -42,10 +84,8 @@ class Event:
         fn, args = self.fn, self.args
         self.fn = None  # break reference cycles and mark as fired
         self.args = ()
+        self.gen += 1
         fn(*args)
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending" if self.fn else "fired"
@@ -57,32 +97,104 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap entries: (time, seq, payload) where payload is either an
+        # (fn, args) tuple scheduled at generation 0 — the fire-and-forget
+        # fast path — or (gen, Event) for cancellable handles.
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._running = False
+        self._live: int = 0  # entries that will still fire
         self.events_processed: int = 0
+
+    # ------------------------------------------------------------ schedule --
+
+    def _reject_time(self, time: float) -> None:
+        """Raise the right ValueError for a time outside ``[now, inf)``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        raise ValueError(f"invalid event time: {time}")
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        if not (time < _INF):  # catches +inf and NaN in one comparison
+            self._reject_time(time)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heappush(self._heap, (time, seq, (0, event)))
+        self._live += 1
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
-        if time < self.now:
-            raise ValueError(f"cannot schedule at {time} before now={self.now}")
-        if math.isnan(time) or math.isinf(time):
-            raise ValueError(f"invalid event time: {time}")
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        if not (self.now <= time < _INF):  # also catches NaN (compares False)
+            self._reject_time(time)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heappush(self._heap, (time, seq, (0, event)))
+        self._live += 1
         return event
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellable handle.
+
+        Identical firing semantics and ordering (same ``(time, seq)`` key),
+        but skips the :class:`Event` allocation — the fast path for the
+        per-frame callbacks that are never cancelled (frame arrival and
+        departure notifications, SIFS-deferred responses).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        time = self.now + delay
+        if not (time < _INF):
+            self._reject_time(time)
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, (fn, args)))
+        self._live += 1
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancellable handle."""
+        if not (self.now <= time < _INF):
+            self._reject_time(time)
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, (fn, args)))
+        self._live += 1
+
+    # -------------------------------------------------------------- cancel --
 
     def cancel(self, event: Event | None) -> None:
         """Cancel a previously scheduled event.  ``None`` is ignored."""
         if event is not None:
             event.cancel()
+
+    def _maybe_compact(self) -> None:
+        """Drop orphaned heap entries once they outnumber live ones.
+
+        Amortized O(1) per cancellation: a compaction costs O(n) but at
+        least halves the heap, and only runs after n/2 cancellations.
+        """
+        heap = self._heap
+        dead = len(heap) - self._live
+        if dead <= 64 or dead <= self._live:
+            return
+        self._heap = [
+            entry
+            for entry in heap
+            if not (
+                entry[2].__class__ is tuple
+                and entry[2][1].__class__ is Event
+                and entry[2][0] != entry[2][1].gen
+            )
+        ]
+        heapq.heapify(self._heap)
+
+    # ----------------------------------------------------------------- run --
 
     def run(self, until: float | None = None) -> None:
         """Run events in timestamp order.
@@ -94,18 +206,40 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
+        # Event times are always finite (schedule rejects inf/NaN), so an
+        # unbounded run is just a bound no event can exceed.
+        bound = _INF if until is None else until
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled or event.fn is None:
-                    heapq.heappop(self._heap)
+            while heap:
+                if heap is not self._heap:  # compaction swapped the list
+                    heap = self._heap
                     continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self.now = event.time
-                self.events_processed += 1
-                event._fire()
+                entry = pop(heap)
+                payload = entry[2]
+                tag = payload[0]
+                if tag.__class__ is int:  # cancellable handle: check its gen
+                    event = payload[1]
+                    if event.gen != tag:
+                        continue  # cancelled: drop the stale entry
+                    time = entry[0]
+                    if time > bound:
+                        heappush(heap, entry)  # once per run(): restore & stop
+                        break
+                    self.now = time
+                    self.events_processed += 1
+                    self._live -= 1
+                    event._fire()
+                else:  # fire-and-forget (fn, args) payload
+                    time = entry[0]
+                    if time > bound:
+                        heappush(heap, entry)
+                        break
+                    self.now = time
+                    self.events_processed += 1
+                    self._live -= 1
+                    tag(*payload[1])
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -117,5 +251,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if e.pending)
+        """Number of not-yet-cancelled events still scheduled (O(1))."""
+        return self._live

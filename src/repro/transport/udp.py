@@ -82,7 +82,9 @@ class CbrSource:
         if self.rng is not None and self.jitter_fraction > 0:
             spread = self.jitter_fraction
             interval *= 1.0 + self.rng.uniform(-spread, spread)
-        self.sim.schedule(interval, self._emit)
+        # Never cancelled (stop() flips a flag checked on fire), so the
+        # fire-and-forget scheduling fast path applies.
+        self.sim.call_after(interval, self._emit)
 
     def receive(self, packet: Packet) -> None:  # sources ignore incoming traffic
         return

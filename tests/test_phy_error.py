@@ -96,3 +96,50 @@ def test_monte_carlo_matches_analytic_fer():
     n = 20_000
     hits = sum(model.is_corrupted("a", "b", 1092, True, rng) for _ in range(n))
     assert hits / n == pytest.approx(frame_error_rate(2e-4, 1092), rel=0.1)
+
+
+# ------------------------------------------ fast-path lookup-table pinning --
+
+
+class _NoDrawRng:
+    """Sentinel RNG that fails the test if anything draws from it."""
+
+    def random(self):  # pragma: no cover - reaching this is the failure
+        raise AssertionError("fast path must not draw from the RNG")
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=4096),
+)
+def test_property_cached_fer_is_bit_identical_to_formula(ber, size):
+    from repro.phy.error import frame_error_rate_formula
+
+    assert frame_error_rate(ber, size) == frame_error_rate_formula(ber, size)
+
+
+def test_trivial_flag_tracks_every_loss_table():
+    model = BitErrorModel()
+    assert model.trivial
+    model.set_ber("a", "b", 0.1)
+    assert not model.trivial
+    assert not BitErrorModel(default_ber=1e-4).trivial
+    fer_model = BitErrorModel()
+    fer_model.set_data_fer("a", "b", 0.5)
+    assert not fer_model.trivial
+    rate_model = BitErrorModel()
+    rate_model.set_rate_profile("a", "b", {11.0: 1e-3})
+    assert not rate_model.trivial
+
+
+def test_trivial_model_never_corrupts_nor_draws():
+    model = BitErrorModel()
+    assert model.trivial
+    assert not model.is_corrupted("a", "b", 1024, True, _NoDrawRng())
+
+
+def test_zero_ber_link_skips_the_rng_even_when_not_trivial():
+    """Links with no loss never consume randomness (draw-sequence fence)."""
+    model = BitErrorModel()
+    model.set_ber("a", "b", 0.5)
+    assert not model.is_corrupted("x", "y", 1024, True, _NoDrawRng())

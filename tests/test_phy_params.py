@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.phy.params import dot11a, dot11b
 
@@ -71,3 +73,68 @@ def test_airtime_monotonic_in_size():
     times = [phy.airtime(n) for n in (10, 100, 1000, 1500)]
     assert times == sorted(times)
     assert all(not math.isnan(t) and t > 0 for t in times)
+
+
+# ------------------------------------------ fast-path lookup-table pinning --
+
+
+def test_airtime_table_is_bit_identical_to_formula():
+    from repro.phy.params import airtime_formula
+
+    for phy in (dot11b(), dot11a(), dot11b(5.5), dot11a(24.0)):
+        for size in (0, 1, 14, 20, 28, 100, 1024, 1500, 2346):
+            for rate in (phy.basic_rate, phy.data_rate, 2.0, 5.5, 11.0):
+                expected = airtime_formula(
+                    size, rate, phy.preamble, phy.ofdm, phy.ofdm_bits_per_symbol
+                )
+                # Twice: the second call is served from the memo table.
+                assert phy.airtime(size, rate) == expected
+                assert phy.airtime(size, rate) == expected
+
+
+@given(
+    st.integers(min_value=0, max_value=4096),
+    st.sampled_from([1.0, 2.0, 5.5, 6.0, 11.0, 12.0, 24.0, 54.0]),
+    st.booleans(),
+)
+def test_property_airtime_table_matches_formula(size, rate, use_a):
+    from repro.phy.params import airtime_formula
+
+    phy = dot11a() if use_a else dot11b()
+    expected = airtime_formula(
+        size, rate, phy.preamble, phy.ofdm, phy.ofdm_bits_per_symbol
+    )
+    assert phy.airtime(size, rate) == expected
+
+
+def test_cached_ifs_and_control_times_match_closed_forms():
+    for phy in (dot11b(), dot11a()):
+        assert phy.difs == phy.sifs + 2 * phy.slot_time
+        assert phy.eifs == phy.sifs + phy.ack_time + phy.difs
+        assert phy.rts_time == phy.airtime(20, phy.basic_rate)
+        assert phy.cts_time == phy.airtime(14, phy.basic_rate)
+        assert phy.ack_time == phy.airtime(14, phy.basic_rate)
+
+
+def test_pickle_excludes_memo_tables():
+    """Worker-process payloads must carry only declared fields; the restored
+    instance recomputes identical derived values."""
+    import pickle
+
+    phy = dot11b()
+    _ = phy.difs, phy.eifs, phy.airtime(1024), phy.rts_time  # populate caches
+    assert "_airtime_table" in vars(phy)
+    clone = pickle.loads(pickle.dumps(phy))
+    assert "_airtime_table" not in vars(clone)
+    assert "difs" not in vars(clone)  # cached_property not smuggled
+    assert clone == phy  # dataclass equality over declared fields
+    assert clone.difs == phy.difs
+    assert clone.airtime(1024) == phy.airtime(1024)
+
+
+def test_frozen_fields_still_rejected():
+    import dataclasses
+
+    phy = dot11b()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        phy.sifs = 99.0

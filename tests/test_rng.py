@@ -48,3 +48,45 @@ def test_spawn_derives_independent_family():
     same_child = RngStreams(seed=5).spawn(1)
     assert child_a.stream("x").random() != child_b.stream("x").random()
     assert RngStreams(seed=5).spawn(1).seed == same_child.seed
+
+
+# ------------------------------------------------------- batched uniforms --
+
+
+def test_batched_uniform_matches_direct_draws():
+    """Batch refills must hand out the exact sequence rng.random() yields."""
+    import random
+
+    from repro.sim.rng import BatchedUniform
+
+    reference = random.Random(42)
+    direct = [reference.random() for _ in range(1000)]
+    batched = BatchedUniform(random.Random(42), batch=256)
+    assert [batched.random() for _ in range(1000)] == direct
+
+
+def test_batched_uniform_batch_one_preserves_interleaving():
+    """batch=1 degenerates to draw-on-demand: another consumer of the same
+    stream (the RSSI-jitter Gaussian) sees an untouched interleaving."""
+    import random
+
+    from repro.sim.rng import BatchedUniform
+
+    reference = random.Random(7)
+    expected = [reference.random(), reference.gauss(0, 1), reference.random()]
+
+    shared = random.Random(7)
+    uniform = BatchedUniform(shared, batch=1)
+    got = [uniform.random(), shared.gauss(0, 1), uniform.random()]
+    assert got == expected
+
+
+def test_batched_uniform_rejects_bad_batch():
+    import random
+
+    import pytest
+
+    from repro.sim.rng import BatchedUniform
+
+    with pytest.raises(ValueError):
+        BatchedUniform(random.Random(1), batch=0)

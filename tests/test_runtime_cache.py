@@ -124,3 +124,29 @@ def test_canonical_rejects_unstable_types():
 
     with pytest.raises(TypeError, match="canonicalise"):
         canonical({"bad": Opaque()})
+
+
+def test_code_version_salt_is_folded_into_the_token():
+    """Bumping CODE_VERSION_SALT must invalidate every cache entry even when
+    no source file changed (the fast-path epoch fence)."""
+    from unittest import mock
+
+    from repro.runtime import cache as cache_mod
+
+    baseline = cache_mod.code_version_token()
+    cache_mod.code_version_token.cache_clear()
+    try:
+        with mock.patch.object(cache_mod, "CODE_VERSION_SALT", "different-epoch"):
+            bumped = cache_mod.code_version_token()
+    finally:
+        cache_mod.code_version_token.cache_clear()
+    assert bumped != baseline
+    assert cache_mod.code_version_token() == baseline  # restored
+
+
+def test_salt_bump_invalidates_stored_entries(tmp_path):
+    spec = make_spec()
+    ResultCache(tmp_path, version="token-epoch-1").put(spec, RESULT)
+    # A different token (as a salt bump produces) misses; the old one hits.
+    assert ResultCache(tmp_path, version="token-epoch-2").get(spec) is None
+    assert ResultCache(tmp_path, version="token-epoch-1").get(spec) == RESULT

@@ -155,3 +155,181 @@ def test_property_cancelled_never_fire(specs):
     sim.run()
     expected = sorted(d for (d, c) in specs if not c)
     assert sorted(fired) == expected
+
+
+# ---------------------------------------------------- fast-path additions --
+
+
+def test_cancelled_timer_rearmed_same_tick_never_fires():
+    """Regression for the O(1)-cancellation rework: a timer cancelled and
+    re-armed for the *same instant* within one tick must fire exactly once —
+    under the old lazy-scan scheduler the stale heap entry and the fresh one
+    were distinct objects, and the generation-counter design must preserve
+    that (the testbed emulation re-arms NAV timers this way on nearly every
+    overheard frame)."""
+    sim = Simulator()
+    fired = []
+    state = {}
+
+    def rearm():
+        sim.cancel(state["event"])
+        state["event"] = sim.schedule_at(10.0, fired.append, "new")
+
+    state["event"] = sim.schedule_at(10.0, fired.append, "old")
+    sim.schedule(5.0, rearm)
+    sim.run()
+    assert fired == ["new"]
+
+
+def test_cancel_rearm_storm_fires_only_last():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(100.0, fired.append, 0)
+    for i in range(1, 500):
+        sim.cancel(event)
+        event = sim.schedule(100.0, fired.append, i)
+    sim.run()
+    assert fired == [499]
+    assert sim.pending_events == 0
+
+
+def test_pending_events_is_exact_through_cancel_storms():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+    for event in events[::2]:
+        sim.cancel(event)
+    assert sim.pending_events == 100
+    for event in events[::2]:
+        sim.cancel(event)  # double-cancel must not double-count
+    assert sim.pending_events == 100
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 100
+
+
+def test_call_after_orders_with_schedule_fifo():
+    """Fire-and-forget and cancellable events share one (time, seq) order."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.call_after(5.0, fired.append, "b")
+    sim.schedule(5.0, fired.append, "c")
+    sim.call_at(5.0, fired.append, "d")
+    sim.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_call_after_validates_like_schedule():
+    import math
+
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_after(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.call_at(sim.now - 5.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.call_at(math.nan, lambda: None)
+    with pytest.raises(ValueError):
+        sim.call_after(math.inf, lambda: None)
+
+
+def test_call_after_counts_in_pending_and_processed():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.call_after(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 2
+
+
+def test_run_until_boundary_event_fires_next_run():
+    """An event beyond ``until`` survives the bounded run intact."""
+    sim = Simulator()
+    fired = []
+    sim.call_after(10.0, fired.append, "x")
+    sim.schedule(30.0, fired.append, "y")
+    sim.run(until=20.0)
+    assert fired == ["x"]
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["x", "y"]
+
+
+def test_compaction_preserves_order_and_counts():
+    """Heavy cancellation triggers heap compaction; survivors still fire in
+    exact (time, FIFO) order and the counters stay consistent."""
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(2000):
+        event = sim.schedule(float(i), fired.append, i)
+        if i % 10 == 0:
+            keep.append(i)
+        else:
+            sim.cancel(event)
+    assert sim.pending_events == len(keep)
+    sim.run()
+    assert fired == keep
+    assert sim.events_processed == len(keep)
+
+
+def test_cancel_inside_callback_prevents_same_time_event():
+    """A callback can cancel an event scheduled for the same instant."""
+    sim = Simulator()
+    fired = []
+    victim = sim.schedule(10.0, fired.append, "victim")
+
+    def killer():
+        sim.cancel(victim)
+
+    # Same fire time, scheduled earlier -> FIFO runs killer first.
+    sim.schedule_at(10.0, killer)  # note: scheduled after victim
+    sim.run()
+    # victim was scheduled first so it fires before killer can act.
+    assert fired == ["victim"]
+
+    sim2 = Simulator()
+    fired2 = []
+    state = {}
+
+    def killer2():
+        sim2.cancel(state["victim"])
+
+    sim2.schedule_at(10.0, killer2)
+    state["victim"] = sim2.schedule_at(10.0, fired2.append, "victim")
+    sim2.run()
+    assert fired2 == []
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6),
+            st.sampled_from(["keep", "cancel", "forget"]),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_mixed_payloads_fire_in_order(specs):
+    """schedule/call_after mixes preserve the global (time, seq) order and
+    the live-event accounting, under arbitrary cancellation."""
+    sim = Simulator()
+    fired = []
+    events = []
+    for delay, action in specs:
+        if action == "forget":
+            sim.call_after(delay, fired.append, delay)
+        else:
+            events.append((sim.schedule(delay, fired.append, delay), action))
+    for event, action in events:
+        if action == "cancel":
+            sim.cancel(event)
+    expected = sorted(d for d, a in specs if a != "cancel")
+    assert sim.pending_events == len(expected)
+    sim.run()
+    assert fired == expected
+    assert sim.pending_events == 0
