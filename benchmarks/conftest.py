@@ -14,6 +14,7 @@ import os
 import pytest
 
 from repro.experiments import get
+from repro.experiments.common import RunSettings
 from repro.runtime import execution
 from repro.stats import ExperimentResult
 
@@ -29,7 +30,7 @@ def run_experiment(benchmark, experiment_id: str) -> ExperimentResult:
 
     def once() -> ExperimentResult:
         with execution(jobs=jobs):
-            return get(experiment_id)(quick=True)
+            return get(experiment_id)(RunSettings.quick())
 
     return benchmark.pedantic(once, rounds=1, iterations=1)
 

@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 
 from repro.experiments import ALL_EXPERIMENTS, EXTENSIONS, get
+from repro.experiments.common import RunSettings
 from repro.runtime import DEFAULT_CACHE_DIRNAME, ResultCache, execution
 
 #: Cheap experiments first so partial runs still cover most artifacts.
@@ -68,7 +69,7 @@ def run_one(experiment_id: str, quick: bool, cache_dir: str | None) -> dict:
     wall_start = time.time()
     cpu_start = time.process_time()
     with execution(jobs=1, cache=cache):
-        result = get(experiment_id)(quick=quick)
+        result = get(experiment_id)(RunSettings.for_mode(quick))
     return {
         "id": experiment_id,
         "text": result.to_text(),

@@ -33,8 +33,13 @@ Quickstart
 
 from repro.core.greedy import GreedyConfig, GreedyReceiverPolicy
 from repro.core.detection import DetectionReport
+from repro.experiments.common import RunSettings
 from repro.net.scenario import Scenario
+from repro.obs import MetricsRegistry, TelemetrySnapshot, capture
 from repro.phy.params import dot11a, dot11b
+from repro.phy.profiles import resolve_phy
+from repro.stats.summary import ExperimentResult
+from repro.stats.trace import FrameTracer
 
 __version__ = "1.0.0"
 
@@ -43,6 +48,13 @@ __all__ = [
     "GreedyReceiverPolicy",
     "DetectionReport",
     "Scenario",
+    "RunSettings",
+    "ExperimentResult",
+    "MetricsRegistry",
+    "TelemetrySnapshot",
+    "capture",
+    "FrameTracer",
+    "resolve_phy",
     "dot11a",
     "dot11b",
     "__version__",

@@ -63,6 +63,26 @@ def get_builder(name: str) -> Callable[..., dict[str, float]]:
     return builder
 
 
+def builder_for_experiment(experiment_id: str) -> Callable[..., dict[str, float]]:
+    """The builder behind a paper artifact, via the experiment registry.
+
+    Resolves ``experiment_id`` (e.g. ``"fig8"``) through
+    :func:`repro.experiments.get_entry` and returns the registered builder
+    that sweeps the same scenario family.  Raises ``KeyError`` for unknown
+    ids and ``ValueError`` for artifacts with no scenario builder (analytic
+    or Monte-Carlo ones such as fig3/table1).
+    """
+    from repro.experiments import get_entry
+
+    entry = get_entry(experiment_id)
+    if entry.builder is None:
+        raise ValueError(
+            f"experiment {experiment_id!r} ({entry.artifact}) has no campaign "
+            "builder; it is analytic or testbed-derived"
+        )
+    return get_builder(entry.builder)
+
+
 def _frames(names: Iterable[str | FrameKind]) -> tuple[FrameKind, ...]:
     """Convert frame-kind names ("CTS", "ACK", ...) to :class:`FrameKind`."""
     out = []

@@ -69,6 +69,8 @@ class Manifest:
     duration_s: float
     points: list[PointState]
     version: int = MANIFEST_VERSION
+    #: Whether per-point telemetry snapshots were captured into the payloads.
+    telemetry: bool = False
 
     # ------------------------------------------------------------ queries --
 
@@ -118,6 +120,7 @@ class Manifest:
                 duration_s=data["duration_s"],
                 points=points,
                 version=data["version"],
+                telemetry=data.get("telemetry", False),
             )
         except (KeyError, TypeError) as exc:
             raise ManifestError(f"malformed manifest {path}: {exc}") from None

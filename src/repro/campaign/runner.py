@@ -77,7 +77,7 @@ def manifest_path(out_dir: Path) -> Path:
     return Path(out_dir) / "manifest.json"
 
 
-def _fresh_manifest(spec: CampaignSpec) -> Manifest:
+def _fresh_manifest(spec: CampaignSpec, telemetry: bool = False) -> Manifest:
     points = [
         PointState(id=point_id(params), index=index, params=dict(params))
         for index, params in enumerate(expand_grid(spec))
@@ -96,6 +96,7 @@ def _fresh_manifest(spec: CampaignSpec) -> Manifest:
         seeds=list(spec.seeds),
         duration_s=spec.duration_s,
         points=points,
+        telemetry=telemetry,
     )
 
 
@@ -126,6 +127,7 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     progress: Callable[[str], None] | None = None,
+    telemetry: bool = False,
 ) -> CampaignRun:
     """Run (or resume) a campaign; returns the invocation summary.
 
@@ -135,6 +137,14 @@ def run_campaign(
     finished campaign without ``--resume`` recomputes nothing either).
     A point whose builder raises is marked failed in the manifest, and the
     run continues with the remaining points.
+
+    ``telemetry=True`` additionally runs one in-process *representative*
+    repetition (the first seed) of each point inside a
+    :func:`repro.obs.capture` and stores the snapshot in the point payload
+    (worker processes don't report registries back, so per-seed telemetry of
+    the fanned-out runs is deliberately out of scope).  The snapshot never
+    feeds the metric medians — those still come exclusively from the seeded
+    fan-out above.
     """
     out = Path(out_dir) if out_dir is not None else default_out_dir(spec)
     out.mkdir(parents=True, exist_ok=True)
@@ -142,7 +152,7 @@ def run_campaign(
     if resume and manifest_path(out).exists():
         manifest = _resumable_manifest(spec, out)
     else:
-        manifest = _fresh_manifest(spec)
+        manifest = _fresh_manifest(spec, telemetry=telemetry)
     manifest.save(manifest_path(out))
 
     cache = None
@@ -178,6 +188,11 @@ def run_campaign(
                 "params": point.params,
                 "per_seed": {str(seed): metrics for seed, metrics in per_seed.items()},
                 "median": _medians(per_seed),
+                "telemetry": (
+                    _point_telemetry(builder, spec, point.params)
+                    if telemetry
+                    else None
+                ),
             }
             atomic_write_text(
                 point_path(out, point), json.dumps(payload, indent=2, sort_keys=True)
@@ -209,6 +224,23 @@ def _medians(per_seed: dict[int, dict[str, float]]) -> dict[str, float]:
     return {
         key: median([outcome[key] for outcome in outcomes]) for key in outcomes[0]
     }
+
+
+def _point_telemetry(
+    builder: Callable[..., dict[str, float]],
+    spec: CampaignSpec,
+    params: dict[str, Any],
+) -> dict[str, Any]:
+    """Snapshot of one in-process representative run (first seed) of a point."""
+    from repro.obs import MetricsRegistry, capture
+
+    registry = MetricsRegistry()
+    seed = spec.seeds[0]
+    with capture(registry):
+        builder(seed=seed, duration_s=spec.duration_s, **params)
+    return registry.snapshot(
+        builder=spec.builder, seed=seed, duration_s=spec.duration_s
+    ).to_dict()
 
 
 # ------------------------------------------------------------- reporting ----
@@ -244,6 +276,7 @@ def aggregate(manifest: Manifest, results: dict[str, dict[str, Any]]) -> tuple[l
     """
     param_cols: list[str] = []
     metric_cols: list[str] = []
+    telemetry_cols: list[str] = []
     rows: list[dict[str, Any]] = []
     for point in manifest.points:
         payload = results.get(point.id)
@@ -255,15 +288,36 @@ def aggregate(manifest: Manifest, results: dict[str, dict[str, Any]]) -> tuple[l
         for key in sorted(payload["median"]):
             if key not in metric_cols:
                 metric_cols.append(key)
-        rows.append(
-            {
-                "index": point.index,
-                "point": point.id,
-                **point.params,
-                **payload["median"],
-            }
-        )
-    return ["index", "point", *param_cols, *metric_cols], rows
+        row = {
+            "index": point.index,
+            "point": point.id,
+            **point.params,
+            **payload["median"],
+        }
+        flat = _flat_telemetry(payload.get("telemetry"))
+        for key in flat:
+            if key not in telemetry_cols:
+                telemetry_cols.append(key)
+        row.update(flat)
+        rows.append(row)
+    return ["index", "point", *param_cols, *metric_cols, *telemetry_cols], rows
+
+
+#: Representative-run gauges promoted to flat results.csv columns; the full
+#: snapshot stays in the point payloads / results.json.
+_FLAT_TELEMETRY = {
+    "tm_events": "sim.engine.events_processed",
+    "tm_frames_sent": "phy.medium.frames_sent",
+}
+
+
+def _flat_telemetry(snapshot: dict[str, Any] | None) -> dict[str, float]:
+    if not snapshot:
+        return {}
+    gauges = snapshot.get("gauges", {})
+    return {
+        column: gauges[key] for column, key in _FLAT_TELEMETRY.items() if key in gauges
+    }
 
 
 def write_reports(out_dir: str | Path, manifest: Manifest) -> tuple[Path, Path]:

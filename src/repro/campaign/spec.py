@@ -49,6 +49,7 @@ except ModuleNotFoundError:  # pragma: no cover - older interpreters
     tomllib = None  # type: ignore[assignment]
 
 from repro.campaign.builders import builder_names, get_builder
+from repro.phy.profiles import profile_names
 from repro.runtime.jobspec import canonical
 
 #: Parameters every builder receives from the campaign engine itself; specs
@@ -185,6 +186,7 @@ def spec_from_dict(
     _validate_zip_lengths(zip_axes, where)
     _validate_disjoint(params, sweep, zip_axes, where)
     _validate_against_builder(builder, [*params, *sweep, *zip_axes], where)
+    _validate_phy_values(params, sweep, zip_axes, where)
 
     spec = CampaignSpec(
         name=name,
@@ -310,6 +312,33 @@ def _validate_against_builder(builder: str, keys: list[str], where: str) -> None
             raise SpecError(
                 f"{where}: builder {builder!r} does not take a parameter "
                 f"{key!r}; it accepts {accepted}"
+            )
+
+
+def _validate_phy_values(
+    params: Mapping[str, Any],
+    sweep: Mapping[str, Any],
+    zip_axes: Mapping[str, Any],
+    where: str,
+) -> None:
+    """``phy`` values must name a profile in :mod:`repro.phy.profiles`.
+
+    Specs are plain data, so a PHY is always a profile *name*; validating it
+    against the same registry :func:`repro.phy.profiles.resolve_phy` uses
+    guarantees specs and experiment runners accept exactly the same names —
+    and fail at load time, not simulation time.
+    """
+    known = profile_names()
+    candidates: list[Any] = []
+    if "phy" in params:
+        candidates.append(params["phy"])
+    for axes in (sweep, zip_axes):
+        if "phy" in axes:
+            candidates.extend(axes["phy"])
+    for value in candidates:
+        if not isinstance(value, str) or value not in known:
+            raise SpecError(
+                f"{where}: unknown PHY profile {value!r}; known profiles: {known}"
             )
 
 

@@ -22,45 +22,65 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments import ALL_EXPERIMENTS, EXTENSIONS, get
+from repro.experiments import entries, get_entry
 
 US = 1_000_000.0
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    print("Paper artifacts:")
-    for experiment_id in sorted(ALL_EXPERIMENTS):
-        print(f"  {experiment_id}")
-    print("Extensions:")
-    for experiment_id in sorted(EXTENSIONS):
-        print(f"  {experiment_id}")
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.stats.summary import format_table
+
+    selected = entries(tag=args.tag or None)
+    rows = [
+        [
+            e.id,
+            e.artifact,
+            e.title,
+            ",".join(e.tags),
+            e.builder or "-",
+        ]
+        for e in selected
+    ]
+    print(format_table(["id", "artifact", "title", "tags", "builder"], rows), end="")
+    if not selected:
+        print(f"no experiments tagged {args.tag!r}", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import RunSettings
     from repro.runtime import ResultCache, execution
 
     try:
-        run = get(args.experiment)
+        entry = get_entry(args.experiment)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    settings = RunSettings.for_mode(args.quick).replace(telemetry=args.telemetry)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     with execution(jobs=args.jobs, cache=cache):
-        result = run(quick=args.quick)
+        result = entry.runner(settings)
     if cache is not None:
         stats = cache.stats()
         print(
             f"cache: {stats['hits']} hits, {stats['misses']} misses",
             file=sys.stderr,
         )
-    text = result.to_text()
+    text = result.to_json(indent=2) if args.format == "json" else result.to_text()
     if args.output:
         with open(args.output, "w") as f:
             f.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    if args.telemetry and args.format != "json" and result.telemetry is not None:
+        snap = result.telemetry
+        print(
+            f"telemetry: {len(snap.counters)} counters, {len(snap.gauges)} gauges, "
+            f"{len(snap.histograms)} histograms over stations "
+            f"{','.join(snap.stations())} (schema v{snap.schema_version})"
+        )
     return 0
 
 
@@ -141,6 +161,98 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------------------- metrics -----
+
+
+def _capture_target(args: argparse.Namespace):
+    """Run ``args.target`` (perf scenario or experiment id) with telemetry on.
+
+    Perf scenario names (``repro perf --list``) run one seeded simulation;
+    experiment ids run the whole artifact under an ambient capture, exactly
+    like ``repro run <id> --telemetry``.
+    """
+    from repro.obs import MetricsRegistry, capture
+    from repro.perf.scenarios import SCENARIOS, get_scenario
+
+    if args.target in SCENARIOS:
+        spec = get_scenario(args.target)
+        duration = args.duration if args.duration is not None else spec.duration_s
+        registry = MetricsRegistry()
+        with capture(registry):
+            built = spec.build(args.seed)
+            built.scenario.run(duration)
+        return registry.snapshot(
+            scenario=args.target, seed=args.seed, duration_s=duration
+        )
+    from repro.experiments.common import RunSettings
+
+    entry = get_entry(args.target)  # KeyError lists the known experiment ids
+    settings = RunSettings.for_mode(args.quick).replace(telemetry=True)
+    return entry.runner(settings).telemetry
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import validate_snapshot
+    from repro.stats.summary import format_table
+
+    try:
+        snapshot = _capture_target(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        print(
+            "target must be a perf scenario (repro perf --list) or an "
+            "experiment id (repro list)",
+            file=sys.stderr,
+        )
+        return 2
+    problems = validate_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"invalid snapshot: {problem}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        text = snapshot.to_json(indent=2)
+    else:
+        header = (
+            f"== telemetry {args.target} ==\n"
+            f"schema v{snapshot.schema_version}; layers "
+            f"{','.join(snapshot.layers())}; stations {','.join(snapshot.stations())}\n"
+        )
+        text = header + format_table(
+            ["layer", "station", "metric", "kind", "value"],
+            [list(row) for row in snapshot.rows()],
+        ).rstrip("\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.perf.scenarios import get_scenario
+    from repro.stats.trace import FrameTracer
+
+    try:
+        spec = get_scenario(args.target)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    built = spec.build(args.seed)
+    tracer = FrameTracer(built.scenario.medium)
+    duration = args.duration if args.duration is not None else spec.duration_s
+    built.scenario.run(duration)
+    if args.output:
+        written = tracer.to_jsonl(args.output, limit=args.limit)
+        suffix = f" (dropped {tracer.dropped})" if tracer.dropped else ""
+        print(f"wrote {written} records to {args.output}{suffix}")
+    else:
+        print(tracer.to_text(limit=args.limit))
+    return 0
+
+
 # ----------------------------------------------------------------- perf -----
 
 
@@ -177,6 +289,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             duration_s=args.duration,
             progress=lambda message: print(message, file=sys.stderr),
+            telemetry=args.telemetry,
         )
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
@@ -238,6 +351,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             progress=print if args.verbose else None,
+            telemetry=args.telemetry,
         )
     except (SpecError, CampaignError, ManifestError) as exc:
         print(exc, file=sys.stderr)
@@ -355,11 +469,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list reproducible tables/figures")
+    p_list.add_argument(
+        "--tag", help="only experiments carrying this tag (e.g. nav, spoof, tcp)"
+    )
     p_list.set_defaults(func=_cmd_list)
 
     p_run = sub.add_parser("run", help="regenerate one table/figure")
     p_run.add_argument("experiment", help="e.g. fig4, table2, ext_autorate")
     p_run.add_argument("--quick", action="store_true", help="reduced sweep")
+    p_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="capture a per-station metrics snapshot alongside the result",
+    )
+    p_run.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="json emits the schema-versioned ExperimentResult document",
+    )
     p_run.add_argument("-o", "--output", help="write the table to a file")
     p_run.add_argument(
         "--jobs",
@@ -403,6 +529,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_crun.add_argument(
         "--no-cache", action="store_true", help="disable the per-seed result cache"
+    )
+    p_crun.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="store a representative-run metrics snapshot in each point payload",
     )
     p_crun.add_argument(
         "-v", "--verbose", action="store_true", help="print per-point progress"
@@ -474,7 +605,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="regression threshold for --check-regression (default 2.0)",
     )
+    p_perf.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="time the instrumented path (live metrics registry attached)",
+    )
     p_perf.set_defaults(func=_cmd_perf)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a scenario/experiment with telemetry and dump metrics"
+    )
+    p_metrics.add_argument(
+        "target", help="perf scenario (repro perf --list) or experiment id"
+    )
+    p_metrics.add_argument(
+        "--seed", type=int, default=1, help="seed for perf-scenario targets"
+    )
+    p_metrics.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds for perf-scenario targets (default: scenario's)",
+    )
+    p_metrics.add_argument(
+        "--quick", action="store_true", help="quick mode for experiment targets"
+    )
+    p_metrics.add_argument("--format", choices=["table", "json"], default="table")
+    p_metrics.add_argument("-o", "--output", help="write the dump to a file")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a perf scenario with a frame tracer and dump frames"
+    )
+    p_trace.add_argument("target", help="perf scenario name (repro perf --list)")
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds (default: scenario's)",
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=None, help="cap the number of frame records"
+    )
+    p_trace.add_argument(
+        "-o", "--output", help="write JSONL here instead of printing text"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_demo = sub.add_parser("demo", help="run a misbehavior demo")
     p_demo.add_argument("kind", choices=["nav", "spoof", "fake"])

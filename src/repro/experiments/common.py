@@ -8,18 +8,27 @@ paper does (median of 5 runs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+import dataclasses
+import functools
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.greedy import GreedyConfig
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.phy.error import set_ber_all_pairs
-from repro.phy.params import PhyParams, dot11a, dot11b
+from repro.phy.params import PhyParams, dot11b
+from repro.phy.profiles import PHY_PROFILES, profile_names, resolve_phy
 from repro.runtime import seed_job
+from repro.stats.summary import ExperimentResult
 
 __all__ = [
     "RunSettings",
+    "resolve_settings",
+    "experiment_api",
+    "PHY_PROFILES",
+    "profile_names",
     "resolve_phy",
     "seed_job",
     "run_nav_pairs",
@@ -41,42 +50,114 @@ QUICK_DURATION_S = 1.5
 QUICK_SEEDS = (1, 2)
 
 
-#: Named PHY profiles, addressable from declarative campaign specs.
-PHY_PROFILES = {"dot11b": dot11b, "dot11a": dot11a}
-
-
-def resolve_phy(phy: PhyParams | str | None) -> PhyParams | None:
-    """Accept a :class:`PhyParams`, a profile name or None (scenario default).
-
-    Profile names ("dot11b", "dot11a") let TOML campaign specs and other
-    plain-data callers select a PHY without constructing objects.
-    """
-    if phy is None or isinstance(phy, PhyParams):
-        return phy
-    if isinstance(phy, str):
-        factory = PHY_PROFILES.get(phy)
-        if factory is None:
-            raise ValueError(
-                f"unknown PHY profile {phy!r}; known: {sorted(PHY_PROFILES)}"
-            )
-        return factory()
-    raise TypeError(f"phy must be PhyParams, profile name or None, got {type(phy).__name__}")
-
-
 @dataclass(frozen=True)
 class RunSettings:
-    """Run length / repetition settings shared by all experiments."""
+    """Run length / repetition / telemetry settings shared by all experiments.
+
+    The single argument of every experiment's ``run(settings)`` entrypoint.
+    ``mode`` selects the full paper-scale sweep ("full") or the shrunk CI
+    variant ("quick"); experiments branch on :attr:`is_quick` instead of a
+    loose ``quick`` bool.  ``telemetry=True`` runs the experiment inside an
+    ambient :func:`repro.obs.capture` and attaches the aggregated
+    :class:`~repro.obs.TelemetrySnapshot` to the returned
+    :class:`~repro.stats.summary.ExperimentResult`.
+    """
 
     duration_s: float = FULL_DURATION_S
     seeds: Sequence[int] = FULL_SEEDS
+    mode: str = "full"
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("full", "quick"):
+            raise ValueError(f"mode must be 'full' or 'quick', got {self.mode!r}")
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+
+    @property
+    def is_quick(self) -> bool:
+        """True for the shrunk CI variant (fewer seeds, shorter runs)."""
+        return self.mode == "quick"
+
+    def replace(self, **overrides: Any) -> "RunSettings":
+        """A copy with the given fields overridden (frozen-safe)."""
+        return dataclasses.replace(self, **overrides)
 
     @staticmethod
     def quick() -> "RunSettings":
-        return RunSettings(QUICK_DURATION_S, QUICK_SEEDS)
+        return RunSettings(QUICK_DURATION_S, QUICK_SEEDS, mode="quick")
 
     @staticmethod
     def for_mode(quick: bool) -> "RunSettings":
         return RunSettings.quick() if quick else RunSettings()
+
+
+#: One-shot latch for the ``run(quick=...)`` deprecation warning, so a CI run
+#: over 30 experiments prints it once rather than 30 times.
+_QUICK_SHIM_WARNED = False
+
+
+def resolve_settings(
+    settings: "RunSettings | bool | None" = None, quick: "bool | None" = None
+) -> RunSettings:
+    """Normalize the arguments of the public ``run()`` entrypoints.
+
+    Accepts the new form (``run()`` / ``run(settings)``) and the deprecated
+    one (``run(quick=True)``, or legacy positional ``run(True)`` — a bool in
+    the settings slot is treated as the old ``quick`` flag).  Passing both a
+    real ``RunSettings`` and ``quick`` is a contradiction and raises.
+    """
+    global _QUICK_SHIM_WARNED
+    if isinstance(settings, bool):  # legacy positional run(True)
+        if quick is not None:
+            raise TypeError("pass either settings or quick, not both")
+        settings, quick = None, settings
+    if quick is not None:
+        if settings is not None:
+            raise TypeError("pass either settings or quick, not both")
+        if not _QUICK_SHIM_WARNED:
+            _QUICK_SHIM_WARNED = True
+            warnings.warn(
+                "run(quick=...) is deprecated; pass run(RunSettings(...)) "
+                "or run(RunSettings.for_mode(quick))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return RunSettings.for_mode(quick)
+    if settings is None:
+        return RunSettings()
+    return settings
+
+
+def experiment_api(
+    fn: "Callable[[RunSettings], ExperimentResult]",
+) -> "Callable[..., ExperimentResult]":
+    """Wrap a ``fn(settings) -> ExperimentResult`` experiment body as the
+    public ``run()`` entrypoint.
+
+    The wrapper resolves the settings-vs-quick calling conventions via
+    :func:`resolve_settings` and, when ``settings.telemetry`` is set, runs the
+    body inside an ambient :func:`repro.obs.capture` so every
+    :class:`~repro.net.scenario.Scenario` the experiment builds reports into
+    one registry; the snapshot lands on ``result.telemetry``.  The unwrapped
+    body stays reachable as ``run.__wrapped__``.
+    """
+
+    @functools.wraps(fn)
+    def run(
+        settings: "RunSettings | bool | None" = None, quick: "bool | None" = None
+    ) -> ExperimentResult:
+        resolved = resolve_settings(settings, quick)
+        if not resolved.telemetry:
+            return fn(resolved)
+        from repro.obs import MetricsRegistry, capture
+
+        registry = MetricsRegistry()
+        with capture(registry):
+            result = fn(resolved)
+        result.telemetry = registry.snapshot(experiment=fn.__module__.rsplit(".", 1)[-1])
+        return result
+
+    return run
 
 
 # ---------------------------------------------------------------- NAV runs --

@@ -16,7 +16,7 @@ and 2 Mbps clean (the regime where rate adaptation matters).
 from __future__ import annotations
 
 from repro.core.greedy import GreedyConfig
-from repro.experiments.common import RunSettings, US_PER_S, seed_job
+from repro.experiments.common import RunSettings, experiment_api, US_PER_S, seed_job
 from repro.net.scenario import Scenario
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -104,9 +104,9 @@ def run_spoof_autorate(
     return out
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     duration = max(settings.duration_s, 3.0)
     result = ExperimentResult(
         name="Extension: auto-rate",

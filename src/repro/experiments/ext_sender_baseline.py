@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.baseline import SelfishSenderConfig, make_selfish
 from repro.core.greedy import GreedyConfig
-from repro.experiments.common import RunSettings, US_PER_S, seed_job
+from repro.experiments.common import RunSettings, experiment_api, US_PER_S, seed_job
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.stats import ExperimentResult, median_over_seeds
@@ -46,9 +46,9 @@ def run_case(seed: int, duration_s: float, attack: str) -> dict[str, float]:
     }
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     result = ExperimentResult(
         name="Extension: attack-surface comparison",
         description=(

@@ -10,7 +10,7 @@ Three sub-experiments: (a) TCP with 2 receivers, (b) TCP with 8 receivers,
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_shared_sender, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_shared_sender, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -18,10 +18,10 @@ FULL_NAV_MS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 31.0)
 QUICK_NAV_MS = (0.0, 10.0, 31.0)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    nav_values = QUICK_NAV_MS if quick else FULL_NAV_MS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    nav_values = QUICK_NAV_MS if settings.is_quick else FULL_NAV_MS
     result = ExperimentResult(
         name="Figure 10",
         description=(

@@ -8,7 +8,7 @@ few frames and suffers on its own link as well.  Both 802.11b and 802.11a.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_spoof_tcp_pairs, seed_job
 from repro.phy.params import dot11a
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -16,10 +16,10 @@ FULL_BERS = (0.0, 1e-5, 1e-4, 2e-4, 3.2e-4, 4.4e-4, 8e-4, 14e-4)
 QUICK_BERS = (0.0, 2e-4, 8e-4)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    bers = QUICK_BERS if quick else FULL_BERS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    bers = QUICK_BERS if settings.is_quick else FULL_BERS
     result = ExperimentResult(
         name="Figure 11",
         description=(
@@ -29,7 +29,7 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=["phy", "ber", "case", "goodput_R1_or_NR", "goodput_R2_or_GR"],
     )
     for phy_name, phy in (("802.11b", None), ("802.11a", dot11a(6.0))):
-        if quick and phy_name == "802.11a":
+        if settings.is_quick and phy_name == "802.11a":
             continue
         for ber in bers:
             for case, gp in (("no GR", 0.0), ("w R2 GR", 100.0)):

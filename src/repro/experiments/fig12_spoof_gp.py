@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_GP = (0.0, 20.0, 40.0, 60.0, 80.0, 100.0)
@@ -11,11 +11,11 @@ FULL_BERS = (2e-5, 2e-4, 8e-4)
 QUICK_BERS = (2e-4,)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    gps = QUICK_GP if quick else FULL_GP
-    bers = QUICK_BERS if quick else FULL_BERS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    gps = QUICK_GP if settings.is_quick else FULL_GP
+    bers = QUICK_BERS if settings.is_quick else FULL_BERS
     result = ExperimentResult(
         name="Figure 12",
         description=(

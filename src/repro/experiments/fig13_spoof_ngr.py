@@ -7,7 +7,7 @@ drops below the honest baseline.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 BER = 2e-4
@@ -15,10 +15,10 @@ FULL_GP = (50.0, 100.0)
 QUICK_GP = (100.0,)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    gps = QUICK_GP if quick else FULL_GP
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    gps = QUICK_GP if settings.is_quick else FULL_GP
     result = ExperimentResult(
         name="Figure 13",
         description=(

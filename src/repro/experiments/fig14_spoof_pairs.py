@@ -6,7 +6,7 @@ Head-of-line blocking at a shared AP shrinks the spoofer's edge.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 BER = 2e-4
@@ -14,10 +14,10 @@ FULL_PAIRS = (2, 4, 6, 8)
 QUICK_PAIRS = (2, 4)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    pair_counts = QUICK_PAIRS if quick else FULL_PAIRS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    pair_counts = QUICK_PAIRS if settings.is_quick else FULL_PAIRS
     result = ExperimentResult(
         name="Figure 14",
         description=(

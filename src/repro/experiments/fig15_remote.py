@@ -8,7 +8,7 @@ victim's loss buys it.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_remote_tcp, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_remote_tcp, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_DELAYS_MS = (2, 10, 50, 100, 200, 400)
@@ -16,13 +16,13 @@ QUICK_DELAYS_MS = (2, 200)
 BER = 2e-5
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    delays = QUICK_DELAYS_MS if quick else FULL_DELAYS_MS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    delays = QUICK_DELAYS_MS if settings.is_quick else FULL_DELAYS_MS
     # Round trips reach ~0.8 s at the top of the sweep: the run must cover
     # many of them for congestion control to show its steady state.
-    duration_s = 8.0 if quick else 20.0
+    duration_s = 8.0 if settings.is_quick else 20.0
     result = ExperimentResult(
         name="Figure 15",
         description=(

@@ -6,7 +6,7 @@ frames already buys the greedy receiver a large relative gain.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_remote_tcp, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_remote_tcp, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_GP = (0.0, 20.0, 40.0, 60.0, 80.0, 100.0)
@@ -16,12 +16,12 @@ QUICK_DELAYS_MS = (200,)
 BER = 2e-5
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    gps = QUICK_GP if quick else FULL_GP
-    delays = QUICK_DELAYS_MS if quick else FULL_DELAYS_MS
-    duration_s = 8.0 if quick else 20.0  # cover many long round trips
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    gps = QUICK_GP if settings.is_quick else FULL_GP
+    delays = QUICK_DELAYS_MS if settings.is_quick else FULL_DELAYS_MS
+    duration_s = 8.0 if settings.is_quick else 20.0  # cover many long round trips
     result = ExperimentResult(
         name="Figure 16",
         description=(

@@ -9,17 +9,17 @@ everyone collides more.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_hidden_terminals, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_fake_hidden_terminals, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_GP = (0.0, 25.0, 50.0, 75.0, 100.0)
 QUICK_GP = (0.0, 100.0)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    gps = QUICK_GP if quick else FULL_GP
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    gps = QUICK_GP if settings.is_quick else FULL_GP
     result = ExperimentResult(
         name="Figure 18",
         description=(

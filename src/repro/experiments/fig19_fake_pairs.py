@@ -7,7 +7,7 @@ loss rate (more corrupted frames means more fake-ACK opportunities).
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_inherent_loss, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_fake_inherent_loss, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_PAIRS = (2, 4, 6, 8)
@@ -16,11 +16,11 @@ FULL_BERS = (2e-4, 5e-4)
 QUICK_BERS = (5e-4,)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    pair_counts = QUICK_PAIRS if quick else FULL_PAIRS
-    bers = QUICK_BERS if quick else FULL_BERS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    pair_counts = QUICK_PAIRS if settings.is_quick else FULL_PAIRS
+    bers = QUICK_BERS if settings.is_quick else FULL_BERS
     result = ExperimentResult(
         name="Figure 19",
         description=(

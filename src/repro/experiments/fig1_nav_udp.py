@@ -6,7 +6,7 @@ lets the greedy receiver's flow starve the competing flow completely.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -14,10 +14,10 @@ FULL_ALPHAS = (0, 1, 2, 3, 4, 6, 10, 31, 100, 310)  # NAV += alpha * 100 us
 QUICK_ALPHAS = (0, 3, 6, 31, 310)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    alphas = QUICK_ALPHAS if quick else FULL_ALPHAS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    alphas = QUICK_ALPHAS if settings.is_quick else FULL_ALPHAS
     result = ExperimentResult(
         name="Figure 1",
         description=(

@@ -9,16 +9,18 @@ from __future__ import annotations
 
 import random
 
+from repro.experiments.common import RunSettings, experiment_api
 from repro.stats import ExperimentResult
 from repro.testbed.rssi import RssiCampaign
 
 CDF_POINTS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    campaign = RssiCampaign(random.Random(11), n_nodes=8 if quick else 16)
-    campaign.run(packets_per_sender=50 if quick else 200)
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    campaign = RssiCampaign(random.Random(11), n_nodes=8 if settings.is_quick else 16)
+    campaign.run(packets_per_sender=50 if settings.is_quick else 200)
     result = ExperimentResult(
         name="Figure 21",
         description="CDF of |RSSI - median RSSI| over all links (dB)",

@@ -9,7 +9,7 @@ receiver a bounded residual edge; out of range the inflation never mattered.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_grc_nav_distance, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_grc_nav_distance, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_DISTANCES = (10, 20, 30, 40, 45, 50, 55, 60, 70, 90, 110)
@@ -17,10 +17,10 @@ QUICK_DISTANCES = (20, 50, 70)
 NAV_US = 31_000.0
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    distances = QUICK_DISTANCES if quick else FULL_DISTANCES
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    distances = QUICK_DISTANCES if settings.is_quick else FULL_DISTANCES
     result = ExperimentResult(
         name="Figure 23",
         description=(
@@ -37,7 +37,7 @@ def run(quick: bool = False) -> ExperimentResult:
             "nav_detections",
         ],
     )
-    transports = ("udp",) if quick else ("udp", "tcp")
+    transports = ("udp",) if settings.is_quick else ("udp", "tcp")
     cases = (
         ("no GR", 0.0, False),
         ("GR, no GRC", NAV_US, False),

@@ -6,17 +6,17 @@ retransmits), both flows track the no-greedy-receiver goodput curves.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_spoof_tcp_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_spoof_tcp_pairs, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_BERS = (0.0, 1e-4, 2e-4, 4.4e-4, 8e-4, 14e-4)
 QUICK_BERS = (2e-4, 8e-4)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    bers = QUICK_BERS if quick else FULL_BERS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    bers = QUICK_BERS if settings.is_quick else FULL_BERS
     result = ExperimentResult(
         name="Figure 24",
         description=(

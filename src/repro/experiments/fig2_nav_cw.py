@@ -9,7 +9,7 @@ beyond 28 slots).
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -19,10 +19,10 @@ QUICK_SLOTS = (0, 10, 20, 28)
 SLOT_US = 20.0  # 802.11b slot time
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    slots = QUICK_SLOTS if quick else FULL_SLOTS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    slots = QUICK_SLOTS if settings.is_quick else FULL_SLOTS
     result = ExperimentResult(
         name="Figure 2",
         description=(

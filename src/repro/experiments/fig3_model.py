@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.core.greedy import GreedyConfig
 from repro.core.model import sending_ratio
-from repro.experiments.common import RunSettings, US_PER_S
+from repro.experiments.common import RunSettings, experiment_api, US_PER_S
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.stats import ExperimentResult, median
@@ -49,10 +49,10 @@ def _one_run(seed: int, duration_s: float, v_slots: int) -> tuple[float, float]:
     return measured, predicted
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    slots = QUICK_SLOTS if quick else FULL_SLOTS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    slots = QUICK_SLOTS if settings.is_quick else FULL_SLOTS
     result = ExperimentResult(
         name="Figure 3",
         description=(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.phy.params import PhyParams
 from repro.stats import ExperimentResult, median_over_seeds
@@ -26,14 +26,13 @@ VARIANTS: dict[str, tuple[FrameKind, ...]] = {
 
 
 def sweep(
-    quick: bool,
+    settings: RunSettings,
     phy: PhyParams | None,
     name: str,
     description: str,
 ) -> ExperimentResult:
     """Shared implementation for Figures 4 (802.11b) and 5 (802.11a)."""
-    settings = RunSettings.for_mode(quick)
-    nav_values = QUICK_NAV_MS if quick else FULL_NAV_MS
+    nav_values = QUICK_NAV_MS if settings.is_quick else FULL_NAV_MS
     result = ExperimentResult(
         name=name,
         description=description,
@@ -61,10 +60,11 @@ def sweep(
     return result
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     return sweep(
-        quick,
+        settings,
         phy=None,
         name="Figure 4",
         description=(

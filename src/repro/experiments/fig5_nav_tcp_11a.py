@@ -7,15 +7,17 @@ inflated reservation displaces relatively more useful airtime.
 
 from __future__ import annotations
 
+from repro.experiments.common import RunSettings, experiment_api
 from repro.experiments.fig4_nav_tcp import sweep
 from repro.phy.params import dot11a
 from repro.stats import ExperimentResult
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     return sweep(
-        quick,
+        settings,
         phy=dot11a(6.0),
         name="Figure 5",
         description=(

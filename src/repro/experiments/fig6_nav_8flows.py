@@ -6,7 +6,7 @@ greedy receiver to dominate the medium.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median, median_over_seeds
 
@@ -15,10 +15,10 @@ QUICK_NAV_MS = (0.0, 10.0, 31.0)
 N_PAIRS = 8
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    nav_values = QUICK_NAV_MS if quick else FULL_NAV_MS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    nav_values = QUICK_NAV_MS if settings.is_quick else FULL_NAV_MS
     result = ExperimentResult(
         name="Figure 6",
         description=(

@@ -7,7 +7,7 @@ is already ~2 Mbps.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -16,11 +16,11 @@ QUICK_GP = (0.0, 50.0, 100.0)
 NAV_MS = (5.0, 10.0, 31.0)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    gps = QUICK_GP if quick else FULL_GP
-    nav_values = (10.0, 31.0) if quick else NAV_MS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    gps = QUICK_GP if settings.is_quick else FULL_GP
+    nav_values = (10.0, 31.0) if settings.is_quick else NAV_MS
     result = ExperimentResult(
         name="Figure 7",
         description=(

@@ -10,16 +10,16 @@ from __future__ import annotations
 # this figure, `repro campaign` specs (examples/campaigns/fig8_nav_ngr.toml)
 # and the parallel engine alike.
 from repro.campaign.builders import nav_pairs_sorted as seed_run
-from repro.experiments.common import RunSettings, seed_job
+from repro.experiments.common import RunSettings, experiment_api, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 NAV_MS = (5.0, 10.0, 31.0)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    nav_values = (31.0,) if quick else NAV_MS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    nav_values = (31.0,) if settings.is_quick else NAV_MS
     result = ExperimentResult(
         name="Figure 8",
         description=(

@@ -7,7 +7,7 @@ finding: with more than one greedy receiver, only one of them survives —
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_nav_pairs, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_nav_pairs, seed_job
 from repro.mac.frames import FrameKind
 from repro.stats import ExperimentResult, median_over_seeds
 
@@ -33,10 +33,10 @@ def seed_run(seed: int, duration_s: float, n_greedy: int) -> dict[str, float]:
     return {f"rank{i}": ranked[i] for i in range(N_PAIRS)}
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    counts = QUICK_N_GREEDY if quick else FULL_N_GREEDY
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    counts = QUICK_N_GREEDY if settings.is_quick else FULL_N_GREEDY
     columns = ["n_greedy"] + [f"rank{i}" for i in range(N_PAIRS)]
     result = ExperimentResult(
         name="Figure 9",

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 
+from repro.experiments.common import RunSettings, experiment_api
 from repro.stats import ExperimentResult
 from repro.testbed.corruption import (
     address_survival_analytic,
@@ -23,8 +24,9 @@ PAPER_ROWS = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     rng = random.Random(42)
     result = ExperimentResult(
         name="Table I",
@@ -41,7 +43,7 @@ def run(quick: bool = False) -> ExperimentResult:
         ],
     )
     for phy, n_frames in PAPER_FRAME_COUNTS.items():
-        if quick:
+        if settings.is_quick:
             n_frames //= 8
         measured = measure_address_survival(rng, n_frames, phy_name=phy)
         result.add_row(

@@ -8,6 +8,7 @@ blocking at a shared sender dampens (but does not remove) the effect.
 from __future__ import annotations
 
 from repro.experiments.common import (
+    experiment_api,
     RunSettings,
     run_nav_pairs,
     run_nav_shared_sender,
@@ -20,10 +21,10 @@ FULL_NAV_MS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 31.0)
 QUICK_NAV_MS = (0.0, 10.0, 31.0)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    nav_values = QUICK_NAV_MS if quick else FULL_NAV_MS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    nav_values = QUICK_NAV_MS if settings.is_quick else FULL_NAV_MS
     result = ExperimentResult(
         name="Table II",
         description=(

@@ -9,6 +9,7 @@ packet 40 B + 28 B MAC overhead, a TCP data packet 1024 + 40 + 28 B.
 from __future__ import annotations
 
 from repro.phy.error import frame_error_rate
+from repro.experiments.common import RunSettings, experiment_api
 from repro.stats import ExperimentResult
 
 BERS = (1e-5, 2e-4, 3.2e-4, 4.4e-4, 8e-4)
@@ -19,8 +20,9 @@ TCP_ACK_BYTES = 40 + 28
 TCP_DATA_BYTES = 1024 + 40 + 28
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     result = ExperimentResult(
         name="Table III",
         description="BER and the corresponding FER per frame type",

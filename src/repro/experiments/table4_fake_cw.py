@@ -7,14 +7,14 @@ CW_min while the honest sender's explodes; with two fakers both stay low.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_hidden_terminals, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_fake_hidden_terminals, seed_job
 from repro.phy.params import dot11a
 from repro.stats import ExperimentResult, median_over_seeds
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     result = ExperimentResult(
         name="Table IV",
         description=(
@@ -23,7 +23,7 @@ def run(quick: bool = False) -> ExperimentResult:
         ),
         columns=["phy", "case", "cw_S1", "cw_S2"],
     )
-    phys = (("802.11b", None),) if quick else (("802.11b", None), ("802.11a", dot11a(6.0)))
+    phys = (("802.11b", None),) if settings.is_quick else (("802.11b", None), ("802.11a", dot11a(6.0)))
     for phy_name, phy in phys:
         for case, gps in (
             ("no GR", (0.0, 0.0)),

@@ -8,17 +8,17 @@ at its victim's expense, and for two greedy receivers modestly for both
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, run_fake_inherent_loss, seed_job
+from repro.experiments.common import RunSettings, experiment_api, run_fake_inherent_loss, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 
 FULL_FERS = (0.2, 0.5, 0.8)
 QUICK_FERS = (0.5,)
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
-    fers = QUICK_FERS if quick else FULL_FERS
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
+    fers = QUICK_FERS if settings.is_quick else FULL_FERS
     result = ExperimentResult(
         name="Table V",
         description=(

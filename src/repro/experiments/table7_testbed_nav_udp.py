@@ -6,7 +6,7 @@ with RTS/CTS, and both.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, seed_job
+from repro.experiments.common import RunSettings, experiment_api, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 from repro.testbed.emulation import table7_nav_udp
 
@@ -17,9 +17,9 @@ VARIANTS = (
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     result = ExperimentResult(
         name="Table VII",
         description=(

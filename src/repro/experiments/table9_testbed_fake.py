@@ -6,14 +6,14 @@ CW_max clamped to CW_min, so losses never escalate its backoff.
 
 from __future__ import annotations
 
-from repro.experiments.common import RunSettings, seed_job
+from repro.experiments.common import RunSettings, experiment_api, seed_job
 from repro.stats import ExperimentResult, median_over_seeds
 from repro.testbed.emulation import table9_fake_ack_emulation_udp
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Reproduce this artifact; ``quick`` shrinks sweeps/durations for CI."""
-    settings = RunSettings.for_mode(quick)
+@experiment_api
+def run(settings: RunSettings) -> ExperimentResult:
+    """Reproduce this artifact; quick-mode settings shrink sweeps/durations."""
     result = ExperimentResult(
         name="Table IX",
         description=(

@@ -123,6 +123,9 @@ class DcfMac:
         self.on_msdu_dropped: Callable[[Any, str], None] | None = None
 
         self.stats = MacStats()
+        #: Telemetry registry (:mod:`repro.obs`) or None; every hook is
+        #: ``is not None`` guarded so telemetry-off runs are untouched.
+        self.obs: Any = None
 
         # Hot-path timing constants, resolved once: these are pure float
         # arithmetic on the frozen PhyParams, so hoisting them out of the
@@ -198,8 +201,16 @@ class DcfMac:
         self._try_start_access()
 
     def _update_nav(self, until: float) -> None:
-        if until <= self.nav_until or until <= self.sim.now:
+        now = self.sim.now
+        if until <= self.nav_until or until <= now:
             return
+        if self.obs is not None:
+            # NAV-deferral time: microseconds of virtual-carrier busy added
+            # by this update — the signal the paper's NAV validator consumes.
+            self.obs.inc(
+                f"mac.{self.name}.nav_deferral_us",
+                until - (self.nav_until if self.nav_until > now else now),
+            )
         self.nav_until = until
         self._freeze_access()
         if self._nav_event is not None:
@@ -243,6 +254,13 @@ class DcfMac:
             return
         msdu = self._queue[0]
         self.stats.sample_cw(self.cw)
+        obs = self.obs
+        if obs is not None:
+            obs.observe(f"mac.{self.name}.cw", self.cw)
+            obs.observe(
+                f"mac.{self.name}.backoff_stage",
+                self._short_retries + self._long_retries,
+            )
         if self.rts_enabled:
             self._send_rts(msdu)
         else:
@@ -338,6 +356,11 @@ class DcfMac:
 
     def _retry(self, drop: bool) -> None:
         self.stats.retries += 1
+        obs = self.obs
+        if obs is not None:
+            obs.inc(f"mac.{self.name}.retries")
+            if drop:
+                obs.inc(f"mac.{self.name}.drops")
         cw_cap = self.cw_max
         if self._queue and self._queue[0].dst in self.cw_max_to:
             cw_cap = self.cw_max_to[self._queue[0].dst]
@@ -447,6 +470,14 @@ class DcfMac:
 
     def _data_after_cts(self) -> None:
         if self._state != SEND_DATA or not self._queue:
+            return
+        if self.radio.transmitting:
+            # Half-duplex conflict: a SIFS response we owed a peer is still
+            # on the air when the data send should start (the CTS and the
+            # frame that provoked the response arrived within one SIFS).
+            # Abandon the round and re-contend, as after a lost CTS.
+            self._short_retries += 1
+            self._retry(self._short_retries > self.phy.short_retry_limit)
             return
         self._send_data(self._queue[0])
 

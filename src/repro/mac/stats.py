@@ -55,6 +55,31 @@ class MacStats:
             return 0.0
         return sum(self.cw_samples) / len(self.cw_samples)
 
+    def as_metrics(self) -> dict[str, float]:
+        """Flatten the counters for the telemetry gauge sweep.
+
+        Keys become ``mac.<station>.<metric>`` entries in a
+        :class:`repro.obs.TelemetrySnapshot`; set-semantics (gauges) so a
+        repeated sweep never double counts.
+        """
+        return {
+            "tx_rts": float(self.tx_rts),
+            "tx_cts": float(self.tx_cts),
+            "tx_data": float(self.tx_data),
+            "tx_ack": float(self.tx_ack),
+            "tx_spoofed_ack": float(self.tx_spoofed_ack),
+            "tx_fake_ack": float(self.tx_fake_ack),
+            "retries_total": float(self.retries),
+            "drops_total": float(self.drops),
+            "queue_drops": float(self.queue_drops),
+            "msdu_sent": float(self.msdu_sent),
+            "rx_data_clean": float(self.rx_data_clean),
+            "rx_data_corrupted": float(self.rx_data_corrupted),
+            "rx_duplicates": float(self.rx_duplicates),
+            "acks_ignored_by_grc": float(self.acks_ignored_by_grc),
+            "avg_cw": self.average_cw,
+        }
+
     def cw_distribution(self) -> dict[int, float]:
         """Empirical Pr[CW = m] over transmission attempts (Equations 1-2)."""
         total = sum(self.cw_histogram.values())

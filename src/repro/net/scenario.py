@@ -20,6 +20,7 @@ from repro.mac.dcf import DcfMac
 from repro.mac.policy import ReceiverPolicy
 from repro.net.node import Node
 from repro.net.wired import WiredLink
+from repro.obs import MetricsRegistry, current_registry, sweep_scenario
 from repro.phy.error import BitErrorModel
 from repro.phy.medium import Medium
 from repro.phy.params import PhyParams, dot11b
@@ -50,6 +51,7 @@ class Scenario:
         default_ber: float = 0.0,
         ranges: tuple[float, float] | None = None,
         rssi_jitter_db: float = 0.0,
+        telemetry: "MetricsRegistry | bool | None" = None,
     ) -> None:
         self.phy = phy if phy is not None else dot11b()
         self.sim = Simulator()
@@ -75,6 +77,26 @@ class Scenario:
         self.policies: dict[str, ReceiverPolicy] = {}
         self.report = DetectionReport()
         self._auto_position = 0
+        # Telemetry (repro.obs).  ``telemetry`` may be an explicit registry,
+        # True (fresh registry), False (off even inside a capture()), or None
+        # (attach the ambient capture registry, if any).  Only an *enabled*
+        # registry is wired as ``self.obs``: components guard every hook with
+        # ``obs is not None``, so a disabled/absent registry leaves the
+        # simulation on the exact pre-instrumentation code path.
+        if telemetry is None:
+            registry = current_registry()
+        elif isinstance(telemetry, bool):
+            registry = MetricsRegistry() if telemetry else None
+        else:
+            registry = telemetry
+        self.telemetry: MetricsRegistry | None = registry
+        self.obs: MetricsRegistry | None = (
+            registry if registry is not None and registry.enabled else None
+        )
+        if self.obs is not None:
+            self.obs.scenarios += 1
+            self.medium.obs = self.obs
+            self.sim.track_heap = True
 
     # ------------------------------------------------------------- nodes ----
 
@@ -122,6 +144,8 @@ class Scenario:
             cw_max=cw_max,
             eifs_enabled=eifs_enabled,
         )
+        if self.obs is not None:
+            mac.obs = self.obs
         node = Node(name)
         node.attach_mac(mac)
         self.nodes[name] = node
@@ -205,6 +229,9 @@ class Scenario:
             rng=self.streams.stream(f"cbr.{flow_id}"),
         )
         sink = UdpSink(self.sim, self.nodes[dst], flow_id)
+        if self.obs is not None:
+            source.obs = self.obs
+            sink.obs = self.obs
         return source, sink
 
     def tcp_flow(
@@ -227,6 +254,9 @@ class Scenario:
             self.sim, self.nodes[src], flow_id, dst, **tcp_kwargs
         )
         receiver = TcpReceiver(self.sim, self.nodes[dst], flow_id, src)
+        if self.obs is not None:
+            sender.obs = self.obs
+            receiver.obs = self.obs
         return sender, receiver
 
     def _auto_route(self, a: str, b: str) -> None:
@@ -290,5 +320,12 @@ class Scenario:
     # ---------------------------------------------------------------- run ----
 
     def run(self, duration_s: float) -> None:
-        """Advance the simulation by ``duration_s`` seconds."""
+        """Advance the simulation by ``duration_s`` seconds.
+
+        With telemetry attached, ends with the gauge sweep
+        (:func:`repro.obs.sweep_scenario`): MacStats totals, engine counters
+        and detection counts land in the registry with set semantics.
+        """
         self.sim.run(until=self.sim.now + duration_s * US_PER_S)
+        if self.obs is not None:
+            sweep_scenario(self.obs, self)

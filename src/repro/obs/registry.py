@@ -1,0 +1,111 @@
+"""Metrics registry: counters, gauges and histograms keyed by name.
+
+Keys follow the ``layer.station.metric`` scheme documented in DESIGN.md §10:
+the first dot-separated segment names the layer (``phy``, ``mac``,
+``transport``, ``sim``, ``detect``), the second the station (or pseudo-station
+like ``engine``/``medium``), and the remainder the metric.  The registry is a
+plain accumulator — it never touches RNG streams or the event loop, so
+attaching one cannot perturb a simulation.
+
+Zero-cost-when-disabled contract: every instrumented component holds an
+``obs`` attribute that is either ``None`` or an *enabled* registry, and guards
+each write with ``if self.obs is not None``.  A disabled registry is never
+attached (``Scenario`` refuses to wire it), so a telemetry-off run executes
+the exact pre-instrumentation code path; ``MetricsRegistry.writes`` counts
+every mutation so tests can assert the zero-write property directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.snapshot import TelemetrySnapshot
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges and histograms for one capture scope."""
+
+    __slots__ = ("enabled", "counters", "gauges", "histograms", "scenarios", "_writes")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        #: histogram key -> {observed value -> occurrence count}
+        self.histograms: dict[str, dict[float, int]] = {}
+        #: how many :class:`repro.net.scenario.Scenario` instances attached
+        self.scenarios = 0
+        self._writes = 0
+
+    # ------------------------------------------------------------- writes ----
+
+    def inc(self, key: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``key`` (creating it at 0)."""
+        self._writes += 1
+        counters = self.counters
+        counters[key] = counters.get(key, 0.0) + value
+
+    def gauge(self, key: str, value: float) -> None:
+        """Set the gauge ``key`` (last write wins)."""
+        self._writes += 1
+        self.gauges[key] = value
+
+    def observe(self, key: str, value: float) -> None:
+        """Record one observation of ``value`` into the histogram ``key``."""
+        self._writes += 1
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = {}
+        hist[value] = hist.get(value, 0) + 1
+
+    @property
+    def writes(self) -> int:
+        """Total mutations since construction (zero-write property tests)."""
+        return self._writes
+
+    # ------------------------------------------------------------ queries ----
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def snapshot(self, **meta: Any) -> TelemetrySnapshot:
+        """Freeze the current state into a schema-versioned snapshot."""
+        merged_meta: dict[str, Any] = {"scenarios": self.scenarios}
+        merged_meta.update(meta)
+        return TelemetrySnapshot(
+            counters=dict(sorted(self.counters.items())),
+            gauges=dict(sorted(self.gauges.items())),
+            histograms={
+                key: {str(bucket): count for bucket, count in sorted(hist.items())}
+                for key, hist in sorted(self.histograms.items())
+            },
+            meta=merged_meta,
+        )
+
+
+# --------------------------------------------------------- ambient capture --
+
+#: Stack of active registries; :class:`Scenario` auto-attaches the innermost.
+_ACTIVE: list[MetricsRegistry] = []
+
+
+def current_registry() -> MetricsRegistry | None:
+    """The innermost ambient registry, or None outside any ``capture()``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def capture(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` (default: a fresh enabled one) ambient.
+
+    Every :class:`~repro.net.scenario.Scenario` constructed inside the block
+    attaches to it, so existing experiment code collects telemetry without
+    signature changes.  Captures nest; the innermost wins.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    _ACTIVE.append(reg)
+    try:
+        yield reg
+    finally:
+        _ACTIVE.remove(reg)

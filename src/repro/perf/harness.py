@@ -56,13 +56,18 @@ def time_scenario(
     repeats: int = 3,
     duration_s: float | None = None,
     clock: Callable[[], float] = time.perf_counter,
+    telemetry: bool = False,
 ) -> dict[str, Any]:
     """Build and run one scenario ``repeats`` times; return its bench entry.
 
     Only the event loop (``Simulator.run``) is timed — scenario construction
     is excluded, so the number tracks the per-seed inner-loop cost that
-    dominates ``run_all.py`` and campaign grids.
+    dominates ``run_all.py`` and campaign grids.  ``telemetry=True`` builds
+    each run inside a live :func:`repro.obs.capture`, which is how the 2x
+    regression gate measures the instrumented (hooks-on) code path.
     """
+    from repro.obs import MetricsRegistry, capture
+
     spec = get_scenario(name)
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -73,11 +78,12 @@ def time_scenario(
     events = 0
     metrics: dict[str, float] = {}
     for _ in range(repeats):
-        built = spec.build(seed)
-        sim = built.scenario.sim
-        start = clock()
-        built.scenario.run(sim_s)
-        runs.append(clock() - start)
+        with capture(MetricsRegistry(enabled=telemetry)):
+            built = spec.build(seed)
+            sim = built.scenario.sim
+            start = clock()
+            built.scenario.run(sim_s)
+            runs.append(clock() - start)
         events = sim.events_processed
         metrics = built.metrics(sim_s * US_PER_S)
     wall = min(runs)
@@ -97,13 +103,21 @@ def run_benchmark(
     repeats: int = 3,
     duration_s: float | None = None,
     progress: Callable[[str], None] | None = None,
+    telemetry: bool = False,
 ) -> dict[str, Any]:
-    """Time every requested scenario and assemble the BENCH_core document."""
+    """Time every requested scenario and assemble the BENCH_core document.
+
+    ``telemetry=True`` times the instrumented code path (live metrics
+    registry attached to every scenario) and records that in the document.
+    """
     selected = list(names) if names else list(SCENARIOS)
     say = progress if progress is not None else lambda _m: None
     scenarios: dict[str, Any] = {}
     for name in selected:
-        entry = time_scenario(name, seed=seed, repeats=repeats, duration_s=duration_s)
+        entry = time_scenario(
+            name, seed=seed, repeats=repeats, duration_s=duration_s,
+            telemetry=telemetry,
+        )
         scenarios[name] = entry
         say(
             f"{name}: {entry['wall_s']:.3f}s wall for {entry['sim_duration_s']:g}s "
@@ -114,6 +128,7 @@ def run_benchmark(
         "seed": seed,
         "repeats": repeats,
         "python": platform.python_version(),
+        "telemetry": telemetry,
         "scenarios": scenarios,
     }
 

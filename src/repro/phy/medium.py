@@ -200,6 +200,10 @@ class Medium:
         self.addr_dst_survival = p_dst
         self.addr_src_survival = p_src
         self.frames_sent = 0
+        #: Telemetry registry (:mod:`repro.obs`) or None.  Hooks are guarded
+        #: with ``is not None`` so a telemetry-off run takes the exact
+        #: pre-instrumentation path (golden traces stay byte-identical).
+        self.obs: Any = None
         # Batched uniform draws for the corruption / address-survival rolls.
         # When a jitter callable shares the stream (it draws Gaussians
         # directly from ``rng``), fall back to draw-on-demand (batch=1) so
@@ -274,6 +278,10 @@ class Medium:
         sim = self.sim
         tx = _Transmission(sender, frame, sim.now, sim.now + duration)
         self.frames_sent += 1
+        obs = self.obs
+        if obs is not None:
+            obs.inc(f"phy.{sender.name}.tx_frames")
+            obs.inc(f"phy.{sender.name}.tx_airtime_us", duration)
         sender._begin_transmit(tx.end)
         call_after = sim.call_after
         call_after(duration, sender._end_transmit)
@@ -304,6 +312,16 @@ class Medium:
                 uniform.random() < self.addr_dst_survival
                 and uniform.random() < self.addr_src_survival
             )
+        obs = self.obs
+        if obs is not None:
+            name = receiver.name
+            obs.inc(f"phy.{name}.rx_frames")
+            if corrupted:
+                obs.inc(f"phy.{name}.rx_corrupted")
+                if lock.collided:
+                    obs.inc(f"phy.{name}.rx_collisions")
+                else:
+                    obs.inc(f"phy.{name}.rx_fer_drops")
         rss = lock.rss
         rssi_db = self._rss_db.get(rss)
         if rssi_db is None:

@@ -70,8 +70,10 @@ class Event:
     def cancel(self) -> None:
         """Mark this event so that it never fires."""
         if self.fn is not None and not self.cancelled:
-            self._sim._live -= 1
-            self._sim._maybe_compact()
+            sim = self._sim
+            sim._live -= 1
+            sim.events_cancelled += 1
+            sim._maybe_compact()
         self.cancelled = True
         self.gen += 1
 
@@ -105,6 +107,14 @@ class Simulator:
         self._running = False
         self._live: int = 0  # entries that will still fire
         self.events_processed: int = 0
+        self.events_cancelled: int = 0
+        self.compactions: int = 0
+        #: Largest heap size observed while :attr:`track_heap` is True.
+        #: Tracking is opt-in (telemetry attaches it): the counter itself
+        #: never affects event ordering, only the four schedule paths pay
+        #: one predictable branch.
+        self.track_heap: bool = False
+        self.heap_high_water: int = 0
 
     # ------------------------------------------------------------ schedule --
 
@@ -126,6 +136,8 @@ class Simulator:
         event = Event(time, seq, fn, args, self)
         heappush(self._heap, (time, seq, (0, event)))
         self._live += 1
+        if self.track_heap and len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -137,6 +149,8 @@ class Simulator:
         event = Event(time, seq, fn, args, self)
         heappush(self._heap, (time, seq, (0, event)))
         self._live += 1
+        if self.track_heap and len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
         return event
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
@@ -156,6 +170,8 @@ class Simulator:
         self._seq = seq + 1
         heappush(self._heap, (time, seq, (fn, args)))
         self._live += 1
+        if self.track_heap and len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
 
     def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule_at`: no cancellable handle."""
@@ -165,6 +181,8 @@ class Simulator:
         self._seq = seq + 1
         heappush(self._heap, (time, seq, (fn, args)))
         self._live += 1
+        if self.track_heap and len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
 
     # -------------------------------------------------------------- cancel --
 
@@ -183,6 +201,7 @@ class Simulator:
         dead = len(heap) - self._live
         if dead <= 64 or dead <= self._live:
             return
+        self.compactions += 1
         self._heap = [
             entry
             for entry in heap

@@ -6,9 +6,17 @@ helpers here encode that methodology once for all experiments.
 
 from __future__ import annotations
 
+import json
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.snapshot import TelemetrySnapshot
+
+#: Version of the ExperimentResult JSON schema.  Version 1 predates the
+#: ``telemetry`` field; both are accepted by :meth:`ExperimentResult.from_json`.
+RESULT_SCHEMA_VERSION = 2
 
 
 def median(values: Sequence[float]) -> float:
@@ -56,6 +64,11 @@ class ExperimentResult:
     description: str
     columns: list[str]
     rows: list[dict[str, Any]] = field(default_factory=list)
+    #: JSON schema version of this container (see RESULT_SCHEMA_VERSION).
+    schema_version: int = RESULT_SCHEMA_VERSION
+    #: Telemetry captured while the experiment ran (``RunSettings.telemetry``),
+    #: or None.  Counters aggregate over every simulation the experiment ran.
+    telemetry: "TelemetrySnapshot | None" = None
 
     def add_row(self, **values: Any) -> None:
         """Append one row; every declared column must be present."""
@@ -80,6 +93,45 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()
+
+    # -------------------------------------------------------- serialization --
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Stable JSON encoding (sorted keys, explicit schema version)."""
+        doc: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "description": self.description,
+            "columns": self.columns,
+            "rows": self.rows,
+            "telemetry": self.telemetry.to_dict() if self.telemetry else None,
+        }
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`; accepts schema versions 1 and 2."""
+        from repro.obs.snapshot import TelemetrySnapshot
+
+        doc = json.loads(text)
+        version = doc.get("schema_version", 1)
+        if version not in (1, RESULT_SCHEMA_VERSION):
+            raise ValueError(
+                f"unsupported ExperimentResult schema_version {version!r}"
+            )
+        telemetry_doc = doc.get("telemetry")
+        result = ExperimentResult(
+            name=doc["name"],
+            description=doc["description"],
+            columns=list(doc["columns"]),
+            schema_version=RESULT_SCHEMA_VERSION,
+            telemetry=(
+                TelemetrySnapshot.from_dict(telemetry_doc) if telemetry_doc else None
+            ),
+        )
+        for row in doc.get("rows", []):
+            result.add_row(**row)
+        return result
 
 
 def _fmt(value: Any) -> str:

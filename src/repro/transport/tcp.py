@@ -103,6 +103,8 @@ class TcpSender:
         #: Optional hook fired with (seq, now) on every TCP retransmission —
         #: used by the GRC cross-layer spoofed-ACK detector (Section VII-B).
         self.on_retransmit: "Callable[[int, float], None] | None" = None
+        #: Telemetry registry (:mod:`repro.obs`) or None (guarded hooks).
+        self.obs = None
         node.bind_agent(flow_id, self)
 
     # ------------------------------------------------------------------ API --
@@ -134,6 +136,10 @@ class TcpSender:
         )
         self.segments_sent += 1
         self.snd_max = max(self.snd_max, seq + 1)
+        if self.obs is not None:
+            self.obs.inc(f"transport.{self.node.name}.tx_segments")
+            if retransmit:
+                self.obs.inc(f"transport.{self.node.name}.tx_retransmits")
         if retransmit:
             self.retransmits += 1
             self._retransmitted.add(seq)
@@ -190,6 +196,8 @@ class TcpSender:
             return
         if self._dupacks == 3:
             self.fast_retransmits += 1
+            if self.obs is not None:
+                self.obs.inc(f"transport.{self.node.name}.tx_fast_retransmits")
             flight = self.snd_nxt - self.snd_una
             self.ssthresh = max(flight / 2.0, 2.0)
             self._recover = self.snd_nxt
@@ -229,6 +237,8 @@ class TcpSender:
         if self.snd_una == self.snd_nxt:
             return  # nothing outstanding
         self.timeouts += 1
+        if self.obs is not None:
+            self.obs.inc(f"transport.{self.node.name}.tx_timeouts")
         self.ssthresh = max((self.snd_nxt - self.snd_una) / 2.0, 2.0)
         self.cwnd = 1.0
         self.cwnd_stats.record(self.cwnd)
@@ -257,6 +267,8 @@ class TcpReceiver:
         self.bytes_received = 0
         self.duplicates = 0
         self.acks_sent = 0
+        #: Telemetry registry (:mod:`repro.obs`) or None (guarded hooks).
+        self.obs = None
         node.bind_agent(flow_id, self)
 
     def receive(self, packet: Packet) -> None:
@@ -269,6 +281,11 @@ class TcpReceiver:
             self._received.add(seq)
             self.segments_received += 1
             self.bytes_received += packet.payload_bytes
+            if self.obs is not None:
+                obs = self.obs
+                name = self.node.name
+                obs.inc(f"transport.{name}.rx_packets")
+                obs.inc(f"transport.{name}.rx_bytes", packet.payload_bytes)
             if seq == self.rcv_next:
                 self.rcv_next += 1
                 while self.rcv_next in self._out_of_order:

@@ -52,6 +52,8 @@ class CbrSource:
         self.packets_generated = 0
         self._seq = 0
         self._stopped = False
+        #: Telemetry registry (:mod:`repro.obs`) or None (guarded hooks).
+        self.obs = None
         node.bind_agent(flow_id, self)
 
     def start(self, at: float = 0.0, stop_at: float | None = None) -> None:
@@ -77,6 +79,8 @@ class CbrSource:
         )
         self._seq += 1
         self.packets_generated += 1
+        if self.obs is not None:
+            self.obs.inc(f"transport.{self.node.name}.tx_packets")
         self.node.send_packet(packet)
         interval = self.interval_us
         if self.rng is not None and self.jitter_fraction > 0:
@@ -187,6 +191,8 @@ class UdpSink:
         self.first_rx: float | None = None
         self.last_rx: float | None = None
         self._seen: set[int] = set()
+        #: Telemetry registry (:mod:`repro.obs`) or None (guarded hooks).
+        self.obs = None
         node.bind_agent(flow_id, self)
 
     def receive(self, packet: Packet) -> None:
@@ -195,6 +201,11 @@ class UdpSink:
         self._seen.add(packet.seq)
         self.packets_received += 1
         self.bytes_received += packet.payload_bytes
+        if self.obs is not None:
+            obs = self.obs
+            name = self.node.name
+            obs.inc(f"transport.{name}.rx_packets")
+            obs.inc(f"transport.{name}.rx_bytes", packet.payload_bytes)
         if self.first_rx is None:
             self.first_rx = self.sim.now
         self.last_rx = self.sim.now
