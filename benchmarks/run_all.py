@@ -45,6 +45,7 @@ ORDER = [
     "fig7", "fig8", "fig6", "table2", "fig4", "fig5",
     "fig14", "fig23", "fig9", "fig10", "fig15", "fig16",
     "ext_autorate", "ext_sender_baseline",
+    "ext_bursty_nav", "ext_jammer_crash",
 ]
 
 

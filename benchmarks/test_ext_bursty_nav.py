@@ -1,0 +1,33 @@
+"""Extension bench: NAV inflation under Gilbert-Elliott bursty interference.
+
+* On every channel regime the NAV inflator starves its honest competitor.
+* Burstiness *blunts* the attack: at equal average FER the victim keeps an
+  order of magnitude more goodput on the bursty channel than the memoryless
+  one, because fades break the CTS inflation chain.
+"""
+
+from conftest import rows_by, run_experiment
+
+
+def test_ext_bursty_nav(benchmark):
+    result = run_experiment(benchmark, "ext_bursty_nav")
+    rows = rows_by(result, "channel", "nav_inflation_us")
+
+    # The attack works on every channel regime.
+    for channel in ("clean", "memoryless", "bursty"):
+        honest = rows[(channel, 0.0)]
+        greedy = rows[(channel, 31_000.0)]
+        assert greedy["goodput_R0"] < 0.5 * honest["goodput_R0"]
+        assert greedy["goodput_R1"] > honest["goodput_R1"]
+
+    # Equal average FER: both impaired channels corrupt frames, only the
+    # clean baseline is loss-free.
+    assert rows[("clean", 0.0)]["corrupted_frames"] == 0
+    assert rows[("memoryless", 0.0)]["corrupted_frames"] > 0
+    assert rows[("bursty", 0.0)]["corrupted_frames"] > 0
+
+    # Burstiness blunts the attack: the victim of an inflating receiver
+    # keeps far more goodput when the same average loss arrives in bursts.
+    victim_memoryless = rows[("memoryless", 31_000.0)]["goodput_R0"]
+    victim_bursty = rows[("bursty", 31_000.0)]["goodput_R0"]
+    assert victim_bursty > 10.0 * max(victim_memoryless, 1e-9)

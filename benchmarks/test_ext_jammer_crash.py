@@ -1,0 +1,35 @@
+"""Extension bench: periodic jamming and a mid-run station crash/reboot.
+
+* A crash of S0 hands airtime to the surviving pair and drops its queue.
+* Jamming taxes both pairs without changing who wins.
+"""
+
+from conftest import rows_by, run_experiment
+
+
+def test_ext_jammer_crash(benchmark):
+    result = run_experiment(benchmark, "ext_jammer_crash")
+    rows = rows_by(result, "duty_pct", "crash")
+
+    quiet = rows[(0.0, False)]
+    crashed = rows[(0.0, True)]
+    # The crash costs the crashed pair goodput and drops its queued MSDUs...
+    assert crashed["goodput_R0"] < quiet["goodput_R0"]
+    assert crashed["s0_crash_dropped"] > 0
+    assert quiet["s0_crash_dropped"] == 0
+    # ... and the surviving pair reclaims the freed airtime.
+    assert crashed["goodput_R1"] > quiet["goodput_R1"]
+
+    jammed = rows[(25.0, False)]
+    # Jamming fires and taxes both pairs roughly evenly: no winner flips.
+    assert jammed["jam_bursts"] > 0 and quiet["jam_bursts"] == 0
+    assert jammed["goodput_R0"] < quiet["goodput_R0"]
+    assert jammed["goodput_R1"] < quiet["goodput_R1"]
+    ratio = jammed["goodput_R0"] / jammed["goodput_R1"]
+    assert 0.7 < ratio < 1.4
+
+    # Crash and jammer compose: both effects visible at once.
+    both = rows[(25.0, True)]
+    assert both["goodput_R0"] < jammed["goodput_R0"]
+    assert both["goodput_R1"] > jammed["goodput_R1"]
+    assert both["s0_crash_dropped"] > 0

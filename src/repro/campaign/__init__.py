@@ -11,6 +11,7 @@ DESIGN.md ("Campaign subsystem") and ``examples/campaigns/``.
 
 from repro.campaign.builders import BUILDERS, builder_names, get_builder, register
 from repro.campaign.manifest import (
+    BACKUP_SUFFIX,
     DONE,
     FAILED,
     PENDING,
@@ -40,6 +41,7 @@ from repro.campaign.spec import (
 )
 
 __all__ = [
+    "BACKUP_SUFFIX",
     "BUILDERS",
     "CampaignError",
     "CampaignRun",

@@ -397,3 +397,90 @@ def nav_ber_grc(
     out = {f"goodput_R{i}": sink.goodput_mbps(us) for i, sink in enumerate(sinks)}
     out["nav_detections"] = float(s.report.count("nav"))
     return out
+
+
+@register("bursty_nav")
+def bursty_nav(
+    seed: int,
+    duration_s: float,
+    nav_inflation_us: float = 0.0,
+    p_good_to_bad: float = 0.0,
+    p_bad_to_good: float = 1.0,
+    fer_good: float = 0.0,
+    fer_bad: float = 0.0,
+) -> dict[str, float]:
+    """Beyond the paper: NAV inflation over a Gilbert-Elliott bursty channel
+    (repro.faults).  All-zero FERs run the clean baseline with no fault
+    machinery installed."""
+    from repro.experiments.ext_bursty_nav import run_bursty_nav
+
+    return run_bursty_nav(
+        seed,
+        duration_s,
+        nav_inflation_us=nav_inflation_us,
+        p_good_to_bad=p_good_to_bad,
+        p_bad_to_good=p_bad_to_good,
+        fer_good=fer_good,
+        fer_bad=fer_bad,
+    )
+
+
+@register("jammer_crash")
+def jammer_crash(
+    seed: int,
+    duration_s: float,
+    duty_pct: float = 0.0,
+    crash: bool = False,
+    jitter_us: float = 1_000.0,
+) -> dict[str, float]:
+    """Beyond the paper: periodic jamming at ``duty_pct``% airtime plus an
+    optional mid-run crash/reboot of one sender (repro.faults)."""
+    from repro.experiments.ext_jammer_crash import run_jammer_crash
+
+    return run_jammer_crash(
+        seed,
+        duration_s,
+        duty_pct=duty_pct,
+        crash=crash,
+        jitter_us=jitter_us,
+    )
+
+
+@register("chaos_sleeper")
+def chaos_sleeper(
+    seed: int,
+    duration_s: float,
+    work_s: float = 0.0,
+    point: int = 0,
+) -> dict[str, float]:
+    """Chaos-harness workload: deterministic toy metrics, no simulator.
+
+    Metrics are a pure function of ``(seed, point)``, so a retried job
+    reproduces them bit-identically; ``work_s`` sleeps to widen the window
+    fault injectors aim at (``duration_s`` is accepted but unused).  If the
+    ``REPRO_CHAOS_HANG_ONCE`` environment variable names a directory, the
+    *first* attempt of each job parks forever after dropping a flag file, so
+    the pool watchdog must kill the worker; the retry finds the flag and
+    completes normally.
+    """
+    import os
+    import random
+    import time
+    from pathlib import Path
+
+    hang_dir = os.environ.get("REPRO_CHAOS_HANG_ONCE", "")
+    if hang_dir:
+        flag = Path(hang_dir) / f"hang-{point}-{seed}.flag"
+        try:
+            flag.touch(exist_ok=False)
+        except FileExistsError:
+            pass
+        else:
+            time.sleep(3600.0)
+    if work_s > 0:
+        time.sleep(float(work_s))
+    rng = random.Random(f"chaos:{point}:{seed}")
+    return {
+        "metric_sum": float(seed * 100 + point),
+        "metric_noise": round(rng.random(), 9),
+    }

@@ -6,17 +6,31 @@ partial manifest behind.  A resumed run reloads it, checks that the spec
 hash and code-version token still match (a changed spec or changed simulator
 code makes old numbers non-comparable), and skips every point already marked
 done.
+
+Crash consistency: every ``save`` goes through the fsync-ing atomic writer
+in :mod:`repro.runtime.io` and rotates the previous manifest to
+``manifest.json.bak`` first.  If a SIGKILL (or power cut) lands at the one
+instant where the destination could be caught missing or torn,
+:meth:`Manifest.load_or_recover` falls back to the ``.bak`` copy — at most
+one completed point is forgotten and simply re-runs, which is safe because
+point execution is deterministic and idempotent.
+
+Fault accounting: ``PointState`` records the retry budget spent on each
+point (``retries``) and the most recent failure message (``last_failure``),
+persisted so ``repro campaign status`` can surface flaky points even after
+the run eventually succeeded.  Both fields default, so manifests written
+before the fault-tolerance layer still load.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from repro.runtime.io import atomic_write_text
 
 MANIFEST_VERSION = 1
 
@@ -24,25 +38,12 @@ PENDING = "pending"
 DONE = "done"
 FAILED = "failed"
 
+#: Suffix of the previous-manifest fallback rotated on every save.
+BACKUP_SUFFIX = ".bak"
+
 
 class ManifestError(ValueError):
     """A manifest could not be read or does not match the requested run."""
-
-
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 
 @dataclass
@@ -55,6 +56,12 @@ class PointState:
     status: str = PENDING
     seeds_done: list[int] = field(default_factory=list)
     error: str | None = None
+    #: Retry budget spent on this point across all attempts (seed re-runs
+    #: after worker deaths, timeouts or transient errors).
+    retries: int = 0
+    #: Most recent failure message observed for this point, kept even after
+    #: a later attempt succeeded (flakiness is worth surfacing).
+    last_failure: str | None = None
 
 
 @dataclass
@@ -71,6 +78,9 @@ class Manifest:
     version: int = MANIFEST_VERSION
     #: Whether per-point telemetry snapshots were captured into the payloads.
     telemetry: bool = False
+    #: Aggregate fault counters for the whole campaign (pool rebuilds,
+    #: watchdog kills, serial degradation); purely informational.
+    faults: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------ queries --
 
@@ -92,18 +102,15 @@ class Manifest:
         return dataclasses.asdict(self)
 
     def save(self, path: str | Path) -> None:
-        """Persist atomically; safe against interrupts mid-write."""
-        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        """Persist durably + atomically, rotating the old file to ``.bak``."""
+        atomic_write_text(
+            Path(path),
+            json.dumps(self.to_dict(), indent=2, sort_keys=True),
+            backup_suffix=BACKUP_SUFFIX,
+        )
 
     @staticmethod
-    def load(path: str | Path) -> "Manifest":
-        path = Path(path)
-        try:
-            data = json.loads(path.read_text())
-        except FileNotFoundError:
-            raise ManifestError(f"no manifest at {path}") from None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ManifestError(f"unreadable manifest {path}: {exc}") from None
+    def _from_dict(data: dict[str, Any], path: Path) -> "Manifest":
         try:
             if data["version"] != MANIFEST_VERSION:
                 raise ManifestError(
@@ -121,6 +128,43 @@ class Manifest:
                 points=points,
                 version=data["version"],
                 telemetry=data.get("telemetry", False),
+                faults=dict(data.get("faults", {})),
             )
         except (KeyError, TypeError) as exc:
             raise ManifestError(f"malformed manifest {path}: {exc}") from None
+
+    @staticmethod
+    def load(path: str | Path) -> "Manifest":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ManifestError(f"no manifest at {path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(f"unreadable manifest {path}: {exc}") from None
+        return Manifest._from_dict(data, path)
+
+    @staticmethod
+    def load_or_recover(path: str | Path) -> "Manifest":
+        """Load ``path``; fall back to its ``.bak`` rotation if it is torn.
+
+        The backup is one save older than the primary, so recovery forgets at
+        most the single most recently completed point — it re-runs on resume,
+        deterministically, rather than wedging the whole campaign behind an
+        unreadable manifest.  A *missing* primary with no backup is still an
+        error (there is nothing to resume).
+        """
+        path = Path(path)
+        try:
+            return Manifest.load(path)
+        except ManifestError as exc:
+            backup = Path(str(path) + BACKUP_SUFFIX)
+            if not backup.exists():
+                raise
+            try:
+                recovered = Manifest.load(backup)
+            except ManifestError:
+                raise exc from None
+            # Re-publish the good copy so later saves rotate sane content.
+            recovered.save(path)
+            return recovered

@@ -22,7 +22,6 @@ leaves a valid partial record; ``--resume`` skips every point already done.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -36,7 +35,16 @@ from repro.campaign.manifest import (
     atomic_write_text,
 )
 from repro.campaign.spec import CampaignSpec, expand_grid, point_id, spec_hash
-from repro.runtime import ResultCache, code_version_token, map_over_seeds, seed_job
+from repro.runtime import (
+    ExecutionReport,
+    ResultCache,
+    RetryPolicy,
+    WorkerPool,
+    clean_stale_tmp,
+    code_version_token,
+    map_over_seeds,
+    seed_job,
+)
 from repro.stats.summary import median
 
 #: Default root for campaign outputs, mirroring the experiments' results dir.
@@ -101,8 +109,13 @@ def _fresh_manifest(spec: CampaignSpec, telemetry: bool = False) -> Manifest:
 
 
 def _resumable_manifest(spec: CampaignSpec, out_dir: Path) -> Manifest:
-    """Load an existing manifest and verify it matches this spec + code."""
-    manifest = Manifest.load(manifest_path(out_dir))
+    """Load an existing manifest and verify it matches this spec + code.
+
+    Uses :meth:`Manifest.load_or_recover`: a manifest torn by a SIGKILL
+    mid-write falls back to the ``.bak`` rotation (one save older), so at
+    most the last completed point re-runs instead of the resume failing.
+    """
+    manifest = Manifest.load_or_recover(manifest_path(out_dir))
     if manifest.spec_hash != spec_hash(spec):
         raise CampaignError(
             f"cannot resume in {out_dir}: the manifest was written for spec "
@@ -119,6 +132,15 @@ def _resumable_manifest(spec: CampaignSpec, out_dir: Path) -> Manifest:
     return manifest
 
 
+def _payload_ok(path: Path) -> bool:
+    """Whether a previously-written point payload is present and readable."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(payload, dict) and "per_seed" in payload and "median" in payload
+
+
 def run_campaign(
     spec: CampaignSpec,
     out_dir: str | Path | None = None,
@@ -128,6 +150,8 @@ def run_campaign(
     use_cache: bool = True,
     progress: Callable[[str], None] | None = None,
     telemetry: bool = False,
+    retry: RetryPolicy | None = None,
+    pool: WorkerPool | None = None,
 ) -> CampaignRun:
     """Run (or resume) a campaign; returns the invocation summary.
 
@@ -137,6 +161,17 @@ def run_campaign(
     finished campaign without ``--resume`` recomputes nothing either).
     A point whose builder raises is marked failed in the manifest, and the
     run continues with the remaining points.
+
+    Fan-out goes through a fault-tolerant :class:`~repro.runtime.WorkerPool`
+    governed by ``retry`` (attempts, backoff, per-job wall-clock timeout,
+    pool-rebuild budget — see :class:`~repro.runtime.RetryPolicy`).  Worker
+    deaths and hung jobs are retried transparently; the retry budget each
+    point spent is recorded in its manifest entry (``retries`` /
+    ``last_failure``), and pool-level incidents land in ``manifest.faults``.
+    Retried seeds re-run the identical JobSpec, so a campaign that survived
+    faults reports bit-identical metrics to an undisturbed one.  ``pool``
+    injects a caller-owned WorkerPool (the chaos harness uses this to
+    observe worker PIDs); by default the campaign owns one for its duration.
 
     ``telemetry=True`` additionally runs one in-process *representative*
     repetition (the first seed) of each point inside a
@@ -148,8 +183,14 @@ def run_campaign(
     """
     out = Path(out_dir) if out_dir is not None else default_out_dir(spec)
     out.mkdir(parents=True, exist_ok=True)
+    # Reap temp-file debris a SIGKILLed previous run may have left behind.
+    clean_stale_tmp(out)
+    clean_stale_tmp(points_dir(out))
 
-    if resume and manifest_path(out).exists():
+    if resume and (
+        manifest_path(out).exists()
+        or Path(str(manifest_path(out)) + ".bak").exists()
+    ):
         manifest = _resumable_manifest(spec, out)
     else:
         manifest = _fresh_manifest(spec, telemetry=telemetry)
@@ -162,23 +203,28 @@ def run_campaign(
 
     executed = skipped = failed = 0
     say = progress if progress is not None else lambda _message: None
-    executor = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+    owned = WorkerPool(jobs=jobs, retry=retry) if pool is None else None
+    active = pool if pool is not None else owned
     try:
         for point in manifest.points:
             label = f"point {point.index + 1}/{manifest.total} [{point.id}]"
-            if point.status == DONE and point_path(out, point).exists():
+            if point.status == DONE and _payload_ok(point_path(out, point)):
                 skipped += 1
                 say(f"{label} already done, skipped")
                 continue
             job = seed_job(builder, duration_s=spec.duration_s, **point.params)
+            report = ExecutionReport()
             try:
                 per_seed = map_over_seeds(
-                    job, spec.seeds, jobs=jobs, cache=cache, executor=executor
+                    job, spec.seeds, jobs=jobs, cache=cache, pool=active,
+                    report=report,
                 )
             except Exception as exc:  # noqa: BLE001 - recorded, run continues
                 point.status = FAILED
                 point.seeds_done = []
                 point.error = f"{type(exc).__name__}: {exc}"
+                point.retries += report.total_retries
+                point.last_failure = report.last_error or point.error
                 manifest.save(manifest_path(out))
                 failed += 1
                 say(f"{label} FAILED: {point.error}")
@@ -200,12 +246,22 @@ def run_campaign(
             point.status = DONE
             point.seeds_done = list(spec.seeds)
             point.error = None
+            point.retries += report.total_retries
+            if report.last_error is not None:
+                point.last_failure = report.last_error  # succeeded, but flaky
             manifest.save(manifest_path(out))
             executed += 1
-            say(f"{label} done ({len(spec.seeds)} seeds)")
+            suffix = f", {report.total_retries} retries" if report.total_retries else ""
+            say(f"{label} done ({len(spec.seeds)} seeds{suffix})")
     finally:
-        if executor is not None:
-            executor.shutdown()
+        manifest.faults = {
+            "pool_rebuilds": active.rebuilds,
+            "worker_kills": active.worker_kills,
+            "degraded_to_serial": active.degraded,
+        }
+        manifest.save(manifest_path(out))
+        if owned is not None:
+            owned.shutdown()
 
     write_reports(out, manifest)
     return CampaignRun(

@@ -9,6 +9,7 @@
     python -m repro campaign run examples/campaigns/fig1_nav_udp.toml --jobs 4
     python -m repro campaign status results/campaigns/fig1_nav_udp
     python -m repro campaign report results/campaigns/fig1_nav_udp
+    python -m repro chaos --profile quick     # fault-injection self-test
 
 The demos build a small hotspot, run the chosen misbehavior, and print
 per-flow goodput plus a goodput-over-time sparkline so the takeover (and the
@@ -332,8 +333,25 @@ def _campaign_out_dir(target: str, quick: bool):
     return default_out_dir(load_spec(path, quick=quick))
 
 
+def _retry_policy(args: argparse.Namespace):
+    """RetryPolicy from the --retries/--job-timeout/--backoff flags, if any."""
+    if args.retries is None and args.job_timeout is None and args.backoff is None:
+        return None
+    from repro.runtime import RetryPolicy
+
+    kwargs = {}
+    if args.retries is not None:
+        kwargs["max_attempts"] = max(1, args.retries)
+    if args.job_timeout is not None:
+        kwargs["timeout_s"] = args.job_timeout
+    if args.backoff is not None:
+        kwargs["backoff_base_s"] = args.backoff
+    return RetryPolicy(**kwargs)
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign import (
+        FAILED,
         CampaignError,
         ManifestError,
         SpecError,
@@ -352,6 +370,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             progress=print if args.verbose else None,
             telemetry=args.telemetry,
+            retry=_retry_policy(args),
         )
     except (SpecError, CampaignError, ManifestError) as exc:
         print(exc, file=sys.stderr)
@@ -369,8 +388,19 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if summary.cache_stats is not None:
         stats = summary.cache_stats
         print(f"  cache: {stats['hits']} hits, {stats['misses']} misses")
+    retries = sum(point.retries for point in manifest.points)
+    faults = manifest.faults or {}
+    if retries or any(faults.values()):
+        print(
+            f"  fault tolerance: {retries} job retries, "
+            f"{faults.get('pool_rebuilds', 0)} pool rebuilds, "
+            f"{faults.get('worker_kills', 0)} watchdog kills"
+            + (" (degraded to serial)" if faults.get("degraded_to_serial") else "")
+        )
     print(f"  out: {summary.out_dir} (manifest.json, results.csv, results.json)")
-    return 1 if summary.failed else 0
+    # Nonzero whenever any point *ends* failed — also on --resume runs that
+    # executed nothing but inherit failed points from the manifest.
+    return 1 if manifest.count(FAILED) else 0
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -394,11 +424,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             point.id,
             point.status,
             f"{len(point.seeds_done)}/{len(manifest.seeds)}",
-            point.error or "",
+            str(point.retries),
+            point.last_failure or point.error or "",
         ]
         for point in manifest.points
     ]
-    print(format_table(["index", "point", "status", "seeds", "error"], rows), end="")
+    print(
+        format_table(
+            ["index", "point", "status", "seeds", "retries", "last failure"], rows
+        ),
+        end="",
+    )
+    faults = manifest.faults or {}
+    if any(faults.values()):
+        print(
+            f"pool incidents: {faults.get('pool_rebuilds', 0)} rebuilds, "
+            f"{faults.get('worker_kills', 0)} watchdog kills"
+            + (" (degraded to serial)" if faults.get("degraded_to_serial") else "")
+        )
     if args.expect_complete and not manifest.complete:
         print("campaign is not complete", file=sys.stderr)
         return 1
@@ -458,6 +501,44 @@ def _fmt_cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+# -------------------------------------------------------------------- chaos --
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+    import warnings
+
+    from repro.faults.chaos import PROFILES, run_chaos
+
+    if args.list:
+        for name, profile in PROFILES.items():
+            campaign = profile.spec["campaign"]
+            print(
+                f"{name}: builder {campaign['builder']}, "
+                f"{profile.worker_kills} worker kill(s), "
+                f"{profile.cache_truncations} cache truncation(s)"
+                + (", hang-once jobs" if profile.hang else "")
+            )
+        return 0
+    progress = print if args.verbose else None
+    with warnings.catch_warnings():
+        # Quarantine warnings are the harness working as intended.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        try:
+            if args.keep:
+                report = run_chaos(args.profile, args.keep, progress=progress)
+            else:
+                with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                    report = run_chaos(args.profile, tmp, progress=progress)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    print("\n".join(report.summary_lines()))
+    if args.keep:
+        print(f"  artifacts kept under: {args.keep}")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -538,6 +619,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument(
         "-v", "--verbose", action="store_true", help="print per-point progress"
     )
+    p_crun.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="attempts per seeded job before its point fails (default 3)",
+    )
+    p_crun.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per seeded job; a watchdog kills overrunning "
+        "workers and retries (default: no timeout)",
+    )
+    p_crun.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay of the exponential retry backoff (default 0.25)",
+    )
     p_crun.set_defaults(func=_cmd_campaign_run)
 
     p_cstatus = csub.add_parser("status", help="show a campaign's manifest status")
@@ -566,6 +668,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_creport.add_argument("-o", "--output", help="write the report to a file")
     p_creport.set_defaults(func=_cmd_campaign_report)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="self-test the fault-tolerant campaign engine under injected "
+        "failures (worker kills, cache/manifest corruption, hung jobs)",
+    )
+    p_chaos.add_argument(
+        "--profile",
+        default="quick",
+        help="chaos profile to run (see --list; default: quick)",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true", help="list chaos profiles and exit"
+    )
+    p_chaos.add_argument(
+        "--keep",
+        metavar="DIR",
+        help="run under this directory and keep the artifacts "
+        "(default: a temp dir, deleted afterwards)",
+    )
+    p_chaos.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-phase progress"
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_perf = sub.add_parser(
         "perf", help="microbenchmark the simulation core (BENCH_core.json)"

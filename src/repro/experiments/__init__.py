@@ -164,6 +164,13 @@ REGISTRY: dict[str, ExperimentEntry] = {
         _entry("ext_sender_baseline", "ext_sender_baseline", "Extension",
                "Greedy-receiver vs greedy-sender baseline (Section IX)",
                ("nav", "baseline"), extension=True),
+        _entry("ext_bursty_nav", "ext_bursty_nav", "Extension",
+               "NAV inflation under Gilbert-Elliott bursty interference",
+               ("nav", "faults"), builder="bursty_nav", extension=True),
+        _entry("ext_jammer_crash", "ext_jammer_crash", "Extension",
+               "Goodput under periodic jamming and station crash/reboot",
+               ("faults", "jammer", "crash"), builder="jammer_crash",
+               extension=True),
     )
 }
 

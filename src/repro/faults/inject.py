@@ -1,0 +1,92 @@
+"""FaultInjector: wires a :class:`~repro.faults.plan.FaultPlan` into a scenario.
+
+One injector per scenario, created by
+:meth:`repro.net.scenario.Scenario.install_faults`.  It instantiates the
+enabled models with their dedicated RNG streams (``faults.channel``,
+``faults.jammer``) and registers itself as ``medium.faults`` — but only when
+a medium-level model is actually enabled, so a crash-only plan (or an empty
+one) leaves the delivery hot path untouched, same zero-cost discipline as
+``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.channel import GilbertElliottChannel
+from repro.faults.jammer import Jammer
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:
+    from repro.net.scenario import Scenario
+    from repro.phy.medium import Radio, _Transmission
+
+US_PER_S = 1_000_000.0
+
+
+class FaultInjector:
+    """The live fault models of one scenario, plus their counters."""
+
+    def __init__(self, scenario: "Scenario", plan: FaultPlan) -> None:
+        self.plan = plan
+        self.channel: GilbertElliottChannel | None = None
+        self.jammer: Jammer | None = None
+        medium = scenario.medium
+        obs = scenario.obs
+        if plan.channel is not None:
+            self.channel = GilbertElliottChannel(
+                plan.channel,
+                scenario.streams.stream("faults.channel"),
+                medium.addr_dst_survival,
+                medium.addr_src_survival,
+                obs=obs,
+            )
+        if plan.jammer is not None:
+            self.jammer = Jammer(
+                scenario.sim,
+                medium,
+                plan.jammer,
+                scenario.streams.stream("faults.jammer"),
+                obs=obs,
+            )
+        for crash in plan.crashes:
+            mac = scenario.macs.get(crash.node)
+            if mac is None:
+                raise ValueError(
+                    f"fault plan crashes unknown node {crash.node!r}; "
+                    "install_faults() must run after the nodes are added"
+                )
+            scenario.sim.call_at(crash.at_s * US_PER_S, mac.crash)
+            if crash.reboot_after_s is not None:
+                scenario.sim.call_at(
+                    (crash.at_s + crash.reboot_after_s) * US_PER_S, mac.reboot
+                )
+        if self.channel is not None or self.jammer is not None:
+            medium.faults = self
+
+    def on_deliver(
+        self,
+        tx: "_Transmission",
+        receiver: "Radio",
+        frame: Any,
+        corrupted: bool,
+        addr_ok: bool,
+    ) -> tuple[bool, bool]:
+        """Medium delivery hook: the one entry point for channel impairments."""
+        if getattr(frame, "jam", False):
+            return True, False  # jam energy is never decodable
+        if self.channel is not None:
+            corrupted, addr_ok = self.channel.on_deliver(
+                tx.sender.name, receiver.name, corrupted, addr_ok
+            )
+        return corrupted, addr_ok
+
+    def counters(self) -> dict[str, int]:
+        """Flat summary of what the models actually did (for experiments)."""
+        out: dict[str, int] = {}
+        if self.channel is not None:
+            out["channel_corrupted_frames"] = self.channel.corrupted_frames
+            out["channel_transitions_to_bad"] = self.channel.transitions_to_bad
+        if self.jammer is not None:
+            out["jammer_bursts"] = self.jammer.bursts
+        return out

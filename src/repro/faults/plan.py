@@ -1,0 +1,121 @@
+"""Declarative fault plans: which impairments to inject, with what knobs.
+
+A :class:`FaultPlan` is plain frozen data — experiments and campaign
+builders construct one from scalar parameters, hand it to
+:meth:`repro.net.scenario.Scenario.install_faults`, and the injector wires
+the individual models in.  Keeping the plan declarative (no callables, no
+RNG state) means two scenarios built from equal plans and equal seeds are
+bit-identical, which is the determinism contract the whole fault subsystem
+rests on (tests/test_faults.py holds it down).
+
+All models are **off by default**: a scenario that never calls
+``install_faults`` takes the exact pre-fault code paths (the golden traces
+in tests/golden/ pin this byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state bursty-error channel layered over the base FER model.
+
+    Every delivered frame advances a per-directed-link Markov chain between
+    a GOOD and a BAD state and is then corrupted with the state's frame
+    error rate.  The classic parametrisation: long mostly-clean stretches
+    (GOOD, ``fer_good``) interrupted by short deep fades (BAD, ``fer_bad``)
+    whose mean lengths are ``1/p_good_to_bad`` and ``1/p_bad_to_good``
+    frames respectively.
+    """
+
+    p_good_to_bad: float = 0.05
+    p_bad_to_good: float = 0.30
+    fer_good: float = 0.0
+    fer_bad: float = 0.8
+    #: Directed (sender, receiver) links the chain applies to; None = all.
+    links: tuple[tuple[str, str], ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("p_good_to_bad", self.p_good_to_bad)
+        _check_probability("p_bad_to_good", self.p_bad_to_good)
+        _check_probability("fer_good", self.fer_good)
+        _check_probability("fer_bad", self.fer_bad)
+
+
+@dataclass(frozen=True)
+class JammerConfig:
+    """A MAC-less station that periodically blasts undecodable energy.
+
+    Each burst occupies the medium for ``burst_us``; receivers that were
+    locked onto a real frame see it collide, everyone else defers (carrier
+    sense) and then EIFS-defers after the corrupted "frame" ends — the same
+    mechanics a real interferer triggers.  ``jitter_us`` adds a uniform
+    random extra gap per period (drawn from the dedicated ``faults.jammer``
+    stream, so enabling it perturbs no other RNG draws).
+    """
+
+    period_us: float = 20_000.0
+    burst_us: float = 2_000.0
+    start_us: float = 1_000.0
+    jitter_us: float = 0.0
+    name: str = "JAMMER"
+    position: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.burst_us <= 0:
+            raise ValueError(f"burst_us must be positive, got {self.burst_us}")
+        if self.period_us <= self.burst_us:
+            raise ValueError(
+                f"period_us ({self.period_us}) must exceed burst_us "
+                f"({self.burst_us}) or bursts would overlap themselves"
+            )
+        if self.jitter_us < 0:
+            raise ValueError(f"jitter_us must be >= 0, got {self.jitter_us}")
+        if self.start_us < 0:
+            raise ValueError(f"start_us must be >= 0, got {self.start_us}")
+
+
+@dataclass(frozen=True)
+class CrashConfig:
+    """Crash (and optionally reboot) one station at a fixed simulation time.
+
+    A crash resets the MAC mid-exchange: queued MSDUs are dropped, pending
+    timers cancelled, the NAV cleared and any reception in progress lost.
+    With ``reboot_after_s`` the station comes back with fresh DCF state and
+    re-joins contention as traffic arrives.
+    """
+
+    node: str
+    at_s: float
+    reboot_after_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.reboot_after_s is not None and self.reboot_after_s <= 0:
+            raise ValueError(
+                f"reboot_after_s must be positive, got {self.reboot_after_s}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete impairment configuration of one scenario."""
+
+    channel: GilbertElliottConfig | None = None
+    jammer: JammerConfig | None = None
+    crashes: tuple[CrashConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def empty(self) -> bool:
+        return self.channel is None and self.jammer is None and not self.crashes

@@ -155,11 +155,17 @@ class DcfMac:
         self._nav_event: Event | None = None
         self._rx_seen: dict[str, set[int]] = {}
         self._last_tx_kind: FrameKind | None = None
+        #: True between :meth:`crash` and :meth:`reboot`: the station is
+        #: dead — it neither transmits, receives nor reacts to the medium.
+        self._offline = False
 
     # ------------------------------------------------------------------ API --
 
     def send(self, payload: Any, dst: str, size_bytes: int) -> bool:
         """Enqueue one MSDU for ``dst``.  Returns False on queue overflow."""
+        if self._offline:
+            self.stats.crash_dropped_msdus += 1
+            return False
         if len(self._queue) >= self.queue_limit:
             self.stats.queue_drops += 1
             return False
@@ -183,6 +189,60 @@ class DcfMac:
         self._seq = (self._seq + 1) % (1 << 12)
         return self._seq
 
+    # -------------------------------------------------------- crash/reboot --
+
+    @property
+    def offline(self) -> bool:
+        """True while the station is crashed (between crash() and reboot())."""
+        return self._offline
+
+    def crash(self) -> None:
+        """Power-fail this station: drop all state, go deaf and mute.
+
+        Queued MSDUs are lost, pending access/timeout/NAV timers cancelled
+        and any reception in progress abandoned.  A frame this station had
+        on the air keeps propagating (the energy was already emitted) but no
+        response timer is ever armed for it.  Idempotent while offline.
+        """
+        if self._offline:
+            return
+        self._offline = True
+        self.stats.crashes += 1
+        if self.obs is not None:
+            self.obs.inc(f"mac.{self.name}.crashes")
+        self._cancel_timeout()
+        if self._access_event is not None:
+            self.sim.cancel(self._access_event)
+            self._access_event = None
+        if self._nav_event is not None:
+            self.sim.cancel(self._nav_event)
+            self._nav_event = None
+        self.nav_until = 0.0
+        self.stats.crash_dropped_msdus += len(self._queue)
+        if self.on_msdu_dropped is not None:
+            for msdu in self._queue:
+                self.on_msdu_dropped(msdu.payload, msdu.dst)
+        self._queue.clear()
+        self._reset_exchange()
+        self._state = IDLE
+        self._use_eifs = False
+        self._rx_seen.clear()
+        self.radio._lock = None  # the frame being decoded dies with us
+
+    def reboot(self) -> None:
+        """Bring a crashed station back with factory-fresh DCF state.
+
+        The MSDU sequence counter deliberately survives (so peers' duplicate
+        detection never discards post-reboot traffic); everything else —
+        CW, retries, NAV, queue — starts clean.  No-op unless crashed.
+        """
+        if not self._offline:
+            return
+        self._offline = False
+        self.stats.reboots += 1
+        if self.obs is not None:
+            self.obs.inc(f"mac.{self.name}.reboots")
+
     # -------------------------------------------------------- carrier sense --
 
     def _medium_idle(self) -> bool:
@@ -194,10 +254,14 @@ class DcfMac:
 
     def phy_busy(self) -> None:
         """Radio reports energy on the channel: freeze any countdown."""
+        if self._offline:
+            return
         self._freeze_access()
 
     def phy_idle(self) -> None:
         """Radio reports the channel went quiet."""
+        if self._offline:
+            return
         self._try_start_access()
 
     def _update_nav(self, until: float) -> None:
@@ -312,6 +376,8 @@ class DcfMac:
         """Our own transmission ended: arm the matching response timeout."""
         kind = self._last_tx_kind
         self._last_tx_kind = None
+        if self._offline:
+            return  # crashed mid-transmit: no response timers for the dead
         if kind is FrameKind.RTS and self._state == WAIT_CTS:
             self._timeout_event = self.sim.schedule(
                 self._cts_timeout_us, self._cts_timeout
@@ -405,6 +471,8 @@ class DcfMac:
 
     def phy_receive(self, frame: Frame, corrupted: bool, addr_ok: bool, rssi_db: float) -> None:
         """Handle a frame delivered by the radio (possibly corrupted)."""
+        if self._offline:
+            return
         if corrupted:
             self._use_eifs = self.eifs_enabled
             if (

@@ -29,6 +29,11 @@ class MacStats:
     rx_data_corrupted: int = 0
     rx_duplicates: int = 0
     acks_ignored_by_grc: int = 0
+    # Fault-injection accounting (repro.faults): station crash/reboot events
+    # and the MSDUs they cost (queue flushed at crash + arrivals while down).
+    crashes: int = 0
+    reboots: int = 0
+    crash_dropped_msdus: int = 0
     cw_samples: list[int] = field(default_factory=list)
     cw_histogram: Counter = field(default_factory=Counter)
     # Per-destination data-transmission attempts and ACK failures, used by the
@@ -77,6 +82,9 @@ class MacStats:
             "rx_data_corrupted": float(self.rx_data_corrupted),
             "rx_duplicates": float(self.rx_duplicates),
             "acks_ignored_by_grc": float(self.acks_ignored_by_grc),
+            "crashes": float(self.crashes),
+            "reboots": float(self.reboots),
+            "crash_dropped_msdus": float(self.crash_dropped_msdus),
             "avg_cw": self.average_cw,
         }
 

@@ -97,6 +97,10 @@ class Scenario:
             self.obs.scenarios += 1
             self.medium.obs = self.obs
             self.sim.track_heap = True
+        #: Installed fault injector (:mod:`repro.faults`) or None.  Faults
+        #: are strictly opt-in via :meth:`install_faults`; without it the
+        #: scenario runs the exact pre-fault code paths.
+        self.fault_injector: Any = None
 
     # ------------------------------------------------------------- nodes ----
 
@@ -316,6 +320,25 @@ class Scenario:
             rates = DOT11A_RATES if self.phy.ofdm else DOT11B_RATES
         for name in node_names if node_names is not None else list(self.macs):
             self.macs[name].rate_controller = ArfRateController(rates, **arf_kwargs)
+
+    # -------------------------------------------------------------- faults ---
+
+    def install_faults(self, plan: "Any") -> "Any":
+        """Install a :class:`repro.faults.FaultPlan` on this scenario.
+
+        Must run after every node the plan references has been added.  The
+        models draw exclusively from dedicated ``faults.*`` RNG streams, so
+        two runs with equal (seed, plan) are bit-identical, and a run whose
+        plan is empty is bit-identical to one that never called this.
+        Returns the :class:`repro.faults.FaultInjector` (its ``counters()``
+        summarise what the models did).
+        """
+        from repro.faults import FaultInjector
+
+        if self.fault_injector is not None:
+            raise RuntimeError("install_faults() may only be called once")
+        self.fault_injector = FaultInjector(self, plan)
+        return self.fault_injector
 
     # ---------------------------------------------------------------- run ----
 

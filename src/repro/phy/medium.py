@@ -204,6 +204,11 @@ class Medium:
         #: with ``is not None`` so a telemetry-off run takes the exact
         #: pre-instrumentation path (golden traces stay byte-identical).
         self.obs: Any = None
+        #: Channel fault injector (:class:`repro.faults.FaultInjector`) or
+        #: None.  Same zero-cost discipline as ``obs``: the delivery hook is
+        #: ``is not None`` guarded and fault models draw only from their own
+        #: dedicated RNG streams, so a fault-free run is byte-identical.
+        self.faults: Any = None
         # Batched uniform draws for the corruption / address-survival rolls.
         # When a jitter callable shares the stream (it draws Gaussians
         # directly from ``rng``), fall back to draw-on-demand (batch=1) so
@@ -311,6 +316,11 @@ class Medium:
             addr_ok = (
                 uniform.random() < self.addr_dst_survival
                 and uniform.random() < self.addr_src_survival
+            )
+        faults = self.faults
+        if faults is not None:
+            corrupted, addr_ok = faults.on_deliver(
+                tx, receiver, frame, corrupted, addr_ok
             )
         obs = self.obs
         if obs is not None:

@@ -2,31 +2,63 @@
 
 See DESIGN.md ("Parallel experiment engine") for the cache key scheme and
 the determinism argument; tests/test_parallel_engine.py enforces that
-parallel and serial execution are bit-identical.
+parallel and serial execution are bit-identical.  The fault-tolerance layer
+(retries, timeouts, pool rebuilds, quarantine) is documented in DESIGN.md
+§11 and exercised by tests/test_runtime_faulttol.py.
 """
 
-from repro.runtime.cache import DEFAULT_CACHE_DIRNAME, ResultCache, code_version_token
+from repro.runtime.cache import (
+    DEFAULT_CACHE_DIRNAME,
+    QUARANTINE_DIRNAME,
+    ResultCache,
+    code_version_token,
+    result_checksum,
+)
+from repro.runtime.io import atomic_write_text, clean_stale_tmp, fsync_dir
 from repro.runtime.jobspec import JobSpec, canonical, resolve_runner, runner_path, seed_job
 from repro.runtime.pool import (
     ExecutionContext,
+    JobExecutionError,
+    WorkerPool,
     current_context,
     execute_job,
     execution,
     map_over_seeds,
 )
+from repro.runtime.retry import (
+    NON_RETRYABLE,
+    ExecutionReport,
+    JobReport,
+    JobTimeoutError,
+    PoolBrokenError,
+    RetryPolicy,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIRNAME",
     "ExecutionContext",
+    "ExecutionReport",
+    "JobExecutionError",
+    "JobReport",
     "JobSpec",
+    "JobTimeoutError",
+    "NON_RETRYABLE",
+    "PoolBrokenError",
+    "QUARANTINE_DIRNAME",
     "ResultCache",
+    "RetryPolicy",
+    "WorkerPool",
+    "atomic_write_text",
     "canonical",
+    "clean_stale_tmp",
     "code_version_token",
     "current_context",
     "execute_job",
     "execution",
+    "fsync_dir",
     "map_over_seeds",
     "resolve_runner",
+    "result_checksum",
     "runner_path",
     "seed_job",
 ]

@@ -4,8 +4,15 @@ Entries live under ``results/.cache/`` (one JSON file per point) and are
 keyed by a digest of (runner path, canonical kwargs, seed, code-version
 token), so a repeated ``benchmarks/run_all.py`` invocation skips every
 already-computed point while any code change invalidates the whole cache at
-once.  Corrupted or unreadable entries are treated as misses (with a
-warning) and recomputed — the cache can never poison results.
+once.
+
+Every entry carries a checksum over its result payload.  A corrupted,
+truncated or checksum-mismatched entry is *quarantined* (moved aside into
+``<root>/quarantine/``) and treated as a miss — the engine recomputes and
+rewrites a clean entry.  The cache can never poison results and never
+raises on bad entries; ``stats()['quarantined']`` counts the incidents.
+Writes go through the fsync-ing atomic helper in :mod:`repro.runtime.io`,
+so a SIGKILL mid-store leaves either the old entry or the new one.
 """
 
 from __future__ import annotations
@@ -13,15 +20,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from functools import lru_cache
 from pathlib import Path
 
+from repro.runtime.io import atomic_write_text
 from repro.runtime.jobspec import JobSpec
 
 #: Default cache location, relative to the repository's results directory.
 DEFAULT_CACHE_DIRNAME = ".cache"
+
+#: Subdirectory (under the cache root) where corrupt entries are moved for
+#: post-mortem inspection instead of being served or crashing the run.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Manual cache-epoch fence, mixed into :func:`code_version_token`.  Bump it
 #: whenever results must be recomputed for a reason the source digest cannot
@@ -53,6 +64,12 @@ def code_version_token() -> str:
     return digest.hexdigest()[:16]
 
 
+def result_checksum(result: dict) -> str:
+    """Checksum of a result payload (canonical JSON, order-independent)."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 class ResultCache:
     """Filesystem cache of ``{metric: value}`` dicts, one file per JobSpec."""
 
@@ -63,6 +80,7 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.quarantined = 0
 
     def path_for(self, spec: JobSpec) -> Path:
         return self.root / f"{spec.cache_key(self.version)}.json"
@@ -75,42 +93,57 @@ class ResultCache:
             result = payload["result"]
             if not isinstance(result, dict):
                 raise ValueError("cache entry result is not a dict")
+            stored = payload["checksum"]
+            computed = result_checksum(result)
+            if stored != computed:
+                raise ValueError(
+                    f"checksum mismatch (stored {stored}, computed {computed})"
+                )
         except FileNotFoundError:
             self.misses += 1
             return None
         except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
             self.errors += 1
             self.misses += 1
-            warnings.warn(
-                f"ignoring corrupted cache entry {path.name}: {exc}; recomputing",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self._quarantine(path, exc)
             return None
         self.hits += 1
         return dict(result)
 
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a corrupt entry aside (never served again, kept for debugging)."""
+        destination = self.root / QUARANTINE_DIRNAME / path.name
+        moved = False
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+            moved = True
+        except OSError:
+            try:  # cannot move (e.g. dir vanished): drop it so it can't recur
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+        where = f"quarantined to {destination.parent.name}/" if moved else "removed"
+        warnings.warn(
+            f"ignoring corrupted cache entry {path.name}: {exc}; "
+            f"{where}, recomputing",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def put(self, spec: JobSpec, result: dict[str, float]) -> None:
-        """Store a result atomically (temp file + rename)."""
+        """Store a result durably and atomically (fsync + rename)."""
         path = self.path_for(spec)
+        result = dict(result)
         payload = {
             "runner": spec.runner,
             "seed": spec.seed,
             "version": self.version,
-            "result": dict(result),
+            "checksum": result_checksum(result),
+            "result": result,
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, json.dumps(payload, sort_keys=True))
         self.stores += 1
 
     def stats(self) -> dict[str, int]:
@@ -119,4 +152,5 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "quarantined": self.quarantined,
         }

@@ -189,3 +189,48 @@ def test_report_accepts_spec_path_as_target(spec_path, tmp_path, monkeypatch, ca
     assert "cli_small" in capsys.readouterr().out
     assert run_cli("campaign", "report", spec_path, "--quick") == 0
     assert "goodput_R0" in capsys.readouterr().out
+
+
+def test_resume_with_lingering_failed_point_still_exits_1(tmp_path, capsys):
+    # Exit status reflects the manifest, not just this invocation: a resume
+    # that executes nothing but inherits a failed point must stay nonzero.
+    spec = tmp_path / "failing.toml"
+    spec.write_text(
+        "[campaign]\n"
+        'name = "failing"\nbuilder = "nav_pairs"\nseeds = [1]\nduration_s = 0.1\n'
+        "[sweep]\n"
+        'inflate_frames = [["CTS"], ["NOPE"]]\n'
+    )
+    out = tmp_path / "out"
+    assert run_cli("campaign", "run", spec, "--out", out) == 1
+    capsys.readouterr()
+    assert run_cli("campaign", "run", spec, "--out", out, "--resume") == 1
+    assert "failed" in capsys.readouterr().out
+
+
+def test_status_surfaces_retries_and_last_failure(spec_path, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert run_cli("campaign", "run", spec_path, "--out", out) == 0
+    manifest = Manifest.load(manifest_path(out))
+    manifest.points[0].retries = 2
+    manifest.points[0].last_failure = "JobTimeoutError: watchdog killed worker"
+    manifest.faults = {"pool_rebuilds": 1, "worker_kills": 1,
+                      "degraded_to_serial": False}
+    manifest.save(manifest_path(out))
+    capsys.readouterr()
+
+    assert run_cli("campaign", "status", out) == 0
+    text = capsys.readouterr().out
+    assert "retries" in text and "last failure" in text
+    assert "JobTimeoutError: watchdog killed worker" in text
+    assert "pool incidents: 1 rebuilds, 1 watchdog kills" in text
+
+
+def test_run_accepts_retry_flags(spec_path, tmp_path, capsys):
+    out = tmp_path / "out"
+    code = run_cli(
+        "campaign", "run", spec_path, "--quick", "--out", out,
+        "--retries", "2", "--job-timeout", "30", "--backoff", "0.05",
+    )
+    assert code == 0
+    assert "executed" in capsys.readouterr().out

@@ -13,11 +13,13 @@ from pathlib import Path
 import pytest
 
 from repro.campaign import (
+    BACKUP_SUFFIX,
     DONE,
     FAILED,
     PENDING,
     CampaignError,
     Manifest,
+    ManifestError,
     aggregate,
     load_point_results,
     manifest_path,
@@ -182,3 +184,85 @@ def test_fig1_campaign_matches_serial_experiment(tmp_path):
         med = by_alpha[row["alpha"]]
         assert med["goodput_R0"] == row["goodput_NR"]
         assert med["goodput_R1"] == row["goodput_GR"]
+
+
+# -------------------------------------------- crash-consistent manifests ----
+
+
+def test_manifest_save_rotates_a_backup(tmp_path):
+    run_campaign(small_spec(), out_dir=tmp_path)
+    backup = Path(str(manifest_path(tmp_path)) + BACKUP_SUFFIX)
+    assert backup.exists()
+    # the backup is itself a loadable manifest (the pre-finalize snapshot)
+    recovered = Manifest.load(backup)
+    assert recovered.total == 2
+
+
+def test_torn_manifest_recovers_from_backup(tmp_path):
+    run_campaign(small_spec(), out_dir=tmp_path)
+    path = manifest_path(tmp_path)
+    intact = path.read_bytes()
+    path.write_bytes(intact[: len(intact) // 2])  # SIGKILL mid-write
+
+    with pytest.raises(ManifestError, match="unreadable manifest"):
+        Manifest.load(path)
+    recovered = Manifest.load_or_recover(path)
+    assert recovered.total == 2
+    # recovery re-publishes the primary so plain load works again
+    assert Manifest.load(path).total == 2
+
+
+def test_resume_after_torn_manifest_skips_done_points(tmp_path):
+    spec = small_spec()
+    run_campaign(spec, out_dir=tmp_path)
+    path = manifest_path(tmp_path)
+    intact = path.read_bytes()
+    path.write_bytes(intact[: len(intact) // 2])
+
+    summary = run_campaign(spec, out_dir=tmp_path, resume=True)
+    assert summary.executed == 0
+    assert summary.skipped == 2
+    assert summary.failed == 0
+
+
+def test_torn_manifest_without_backup_is_a_hard_error(tmp_path):
+    run_campaign(small_spec(), out_dir=tmp_path)
+    path = manifest_path(tmp_path)
+    intact = path.read_bytes()
+    path.write_bytes(intact[: len(intact) // 2])
+    Path(str(path) + BACKUP_SUFFIX).unlink()
+    with pytest.raises(ManifestError, match="unreadable manifest"):
+        Manifest.load_or_recover(path)
+
+
+def test_retry_telemetry_roundtrips_through_save_and_load(tmp_path):
+    run_campaign(small_spec(), out_dir=tmp_path)
+    path = manifest_path(tmp_path)
+    manifest = Manifest.load(path)
+    manifest.points[0].retries = 3
+    manifest.points[0].last_failure = "JobTimeoutError: watchdog"
+    manifest.faults = {"pool_rebuilds": 1, "worker_kills": 2,
+                      "degraded_to_serial": False}
+    manifest.save(path)
+
+    loaded = Manifest.load(path)
+    assert loaded.points[0].retries == 3
+    assert loaded.points[0].last_failure == "JobTimeoutError: watchdog"
+    assert loaded.faults["worker_kills"] == 2
+
+
+def test_manifest_from_before_fault_tolerance_still_loads(tmp_path):
+    """Forward compatibility: pre-repro.faults manifests lack the new keys."""
+    run_campaign(small_spec(), out_dir=tmp_path)
+    path = manifest_path(tmp_path)
+    data = json.loads(path.read_text())
+    data.pop("faults", None)
+    data.pop("telemetry", None)
+    for point in data["points"]:
+        point.pop("retries", None)
+        point.pop("last_failure", None)
+    path.write_text(json.dumps(data))
+
+    loaded = Manifest.load(path)
+    assert loaded.faults == {}
+    assert all(p.retries == 0 and p.last_failure is None for p in loaded.points)

@@ -1,0 +1,255 @@
+"""Deterministic fault injection: configs, channel, jammer, crashes.
+
+The contract under test (DESIGN.md §11): every impairment is off by
+default and zero-cost when disabled; enabled impairments draw only from
+their dedicated RNG streams (``faults.channel`` / ``faults.jammer``), so
+equal seeds plus equal plans give bit-identical runs; and a crash resets
+exactly the MAC state the paper's machines would lose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CrashConfig,
+    FaultPlan,
+    GilbertElliottConfig,
+    JammerConfig,
+)
+from repro.net.scenario import Scenario
+
+US = 1_000_000.0
+
+
+def _two_pairs(seed: int, plan: FaultPlan | None = None, install_empty: bool = False):
+    s = Scenario(seed=seed, rts_enabled=False)
+    for name in ("S0", "S1", "R0", "R1"):
+        s.add_wireless_node(name)
+    if plan is not None and (install_empty or not plan.empty):
+        s.install_faults(plan)
+    f0, k0 = s.udp_flow("S0", "R0")
+    f1, k1 = s.udp_flow("S1", "R1")
+    f0.start()
+    f1.start()
+    return s, k0, k1
+
+
+def _run(seed: int, plan: FaultPlan | None = None, duration_s: float = 0.4,
+         install_empty: bool = False):
+    s, k0, k1 = _two_pairs(seed, plan, install_empty=install_empty)
+    s.run(duration_s)
+    us = duration_s * US
+    return s, (k0.goodput_mbps(us), k1.goodput_mbps(us))
+
+
+# ------------------------------------------------------------- validation ----
+
+
+def test_gilbert_elliott_config_rejects_bad_probabilities():
+    with pytest.raises(ValueError, match="p_good_to_bad"):
+        GilbertElliottConfig(p_good_to_bad=1.5)
+    with pytest.raises(ValueError, match="fer_bad"):
+        GilbertElliottConfig(fer_bad=-0.1)
+
+
+def test_jammer_config_rejects_degenerate_timing():
+    with pytest.raises(ValueError, match="burst_us"):
+        JammerConfig(burst_us=0.0)
+    with pytest.raises(ValueError, match="period_us"):
+        JammerConfig(period_us=100.0, burst_us=200.0)
+    with pytest.raises(ValueError, match="jitter_us"):
+        JammerConfig(jitter_us=-1.0)
+
+
+def test_crash_config_rejects_negative_times():
+    with pytest.raises(ValueError, match="at_s"):
+        CrashConfig("S0", at_s=-1.0)
+    with pytest.raises(ValueError, match="reboot_after_s"):
+        CrashConfig("S0", at_s=1.0, reboot_after_s=0.0)
+
+
+def test_fault_plan_empty_property():
+    assert FaultPlan().empty
+    assert not FaultPlan(jammer=JammerConfig()).empty
+    assert not FaultPlan(crashes=[CrashConfig("S0", at_s=1.0)]).empty
+    # list input is coerced to a tuple (plans stay hashable/frozen)
+    assert isinstance(FaultPlan(crashes=[CrashConfig("S0", at_s=1.0)]).crashes, tuple)
+
+
+def test_crashing_unknown_node_raises():
+    s = Scenario(seed=1)
+    s.add_wireless_node("S0")
+    with pytest.raises(ValueError, match="unknown node 'GHOST'"):
+        s.install_faults(FaultPlan(crashes=(CrashConfig("GHOST", at_s=0.1),)))
+
+
+def test_install_faults_twice_raises():
+    s = Scenario(seed=1)
+    s.add_wireless_node("S0")
+    s.install_faults(FaultPlan(jammer=JammerConfig()))
+    with pytest.raises(RuntimeError, match="once"):
+        s.install_faults(FaultPlan())
+
+
+# ---------------------------------------------------------- zero-cost off ----
+
+
+def test_faults_off_by_default():
+    s = Scenario(seed=1)
+    assert s.fault_injector is None
+    assert s.medium.faults is None
+
+
+def test_empty_plan_is_bit_identical_to_no_install():
+    _, base = _run(3)
+    s, installed = _run(3, FaultPlan(), install_empty=True)
+    assert installed == base
+    assert s.medium.faults is None  # empty plan never touches the hot path
+
+
+def test_channel_on_unmatched_links_changes_nothing():
+    # The chain is armed but filtered to a link that never carries traffic;
+    # its draws come from the dedicated stream, so the run stays identical.
+    _, base = _run(3)
+    plan = FaultPlan(
+        channel=GilbertElliottConfig(fer_bad=1.0, links=(("GHOST", "NOBODY"),))
+    )
+    s, filtered = _run(3, plan)
+    assert filtered == base
+    assert s.fault_injector.counters()["channel_corrupted_frames"] == 0
+
+
+# ------------------------------------------------------------- GE channel ----
+
+
+BURSTY = FaultPlan(
+    channel=GilbertElliottConfig(
+        p_good_to_bad=0.05, p_bad_to_good=0.2, fer_good=0.0, fer_bad=0.9
+    )
+)
+
+
+def test_channel_is_seed_deterministic():
+    s1, g1 = _run(5, BURSTY)
+    s2, g2 = _run(5, BURSTY)
+    assert g1 == g2
+    assert s1.fault_injector.counters() == s2.fault_injector.counters()
+    _, g3 = _run(6, BURSTY)
+    assert g3 != g1
+
+
+def test_channel_corrupts_frames_and_costs_goodput():
+    _, clean = _run(5)
+    s, lossy = _run(5, BURSTY)
+    counters = s.fault_injector.counters()
+    assert counters["channel_corrupted_frames"] > 0
+    assert counters["channel_transitions_to_bad"] > 0
+    assert sum(lossy) < sum(clean)
+
+
+def test_channel_always_bad_is_a_blackout():
+    plan = FaultPlan(
+        channel=GilbertElliottConfig(
+            p_good_to_bad=1.0, p_bad_to_good=0.0, fer_good=1.0, fer_bad=1.0
+        )
+    )
+    _, goodput = _run(2, plan)
+    assert goodput == (0.0, 0.0)
+
+
+# ----------------------------------------------------------------- jammer ----
+
+
+JAMMED = FaultPlan(
+    jammer=JammerConfig(period_us=10_000.0, burst_us=2_000.0, jitter_us=500.0)
+)
+
+
+def test_jammer_is_seed_deterministic_and_costs_goodput():
+    s1, g1 = _run(7, JAMMED)
+    s2, g2 = _run(7, JAMMED)
+    assert g1 == g2
+    assert s1.fault_injector.counters() == s2.fault_injector.counters()
+    assert s1.fault_injector.counters()["jammer_bursts"] > 0
+    _, clean = _run(7)
+    assert sum(g1) < sum(clean)
+
+
+def test_jam_bursts_are_never_decodable_data():
+    s, _ = _run(7, JAMMED)
+    for mac in s.macs.values():
+        # jam energy shows up as corrupted receptions, never as clean frames
+        assert mac.stats.rx_data_clean >= 0
+    bursts = s.fault_injector.counters()["jammer_bursts"]
+    assert bursts == s.fault_injector.jammer.bursts
+    # roughly duration/period bursts fired (jitter stretches the period)
+    assert bursts <= 0.4 * US / 10_000.0 + 1
+
+
+# ---------------------------------------------------------- crash/reboot ----
+
+
+def test_crash_drops_queue_and_stops_the_flow():
+    plan = FaultPlan(crashes=(CrashConfig("S0", at_s=0.15),))
+    _, clean = _run(4)
+    s, crashed = _run(4, plan)
+    stats = s.macs["S0"].stats
+    assert stats.crashes == 1
+    assert stats.reboots == 0
+    assert stats.crash_dropped_msdus > 0
+    assert s.macs["S0"].offline
+    assert crashed[0] < clean[0]  # the crashed pair loses goodput
+
+
+def test_reboot_restores_the_flow():
+    crash_only = FaultPlan(crashes=(CrashConfig("S0", at_s=0.1),))
+    with_reboot = FaultPlan(
+        crashes=(CrashConfig("S0", at_s=0.1, reboot_after_s=0.1),)
+    )
+    s1, dead = _run(4, crash_only)
+    s2, revived = _run(4, with_reboot)
+    assert s2.macs["S0"].stats.reboots == 1
+    assert not s2.macs["S0"].offline
+    assert revived[0] > dead[0]
+
+
+def test_crash_is_seed_deterministic():
+    plan = FaultPlan(
+        crashes=(CrashConfig("S0", at_s=0.12, reboot_after_s=0.08),)
+    )
+    s1, g1 = _run(9, plan)
+    s2, g2 = _run(9, plan)
+    assert g1 == g2
+    assert (
+        s1.macs["S0"].stats.crash_dropped_msdus
+        == s2.macs["S0"].stats.crash_dropped_msdus
+    )
+
+
+def test_crash_is_idempotent_and_offline_mac_sends_nothing():
+    s = Scenario(seed=1)
+    s.add_wireless_node("S0")
+    s.add_wireless_node("R0")
+    flow, _sink = s.udp_flow("S0", "R0")
+    flow.start()
+    s.run(0.05)
+    mac = s.macs["S0"]
+    mac.crash()
+    mac.crash()  # second crash of a dead station is a no-op
+    assert mac.stats.crashes == 1
+    dropped_before = mac.stats.crash_dropped_msdus
+    assert mac.send(b"x" * 100, "R0", 100) is False
+    assert mac.stats.crash_dropped_msdus == dropped_before + 1
+    mac.reboot()
+    mac.reboot()  # rebooting a live station is a no-op too
+    assert mac.stats.reboots == 1
+    assert mac.send(b"x" * 100, "R0", 100) is True
+
+
+def test_crash_only_plan_leaves_medium_hot_path_alone():
+    s = Scenario(seed=1)
+    s.add_wireless_node("S0")
+    s.install_faults(FaultPlan(crashes=(CrashConfig("S0", at_s=0.1),)))
+    assert s.medium.faults is None  # no medium-level model enabled
+    assert s.fault_injector is not None

@@ -10,10 +10,12 @@ from repro.experiments.common import run_nav_pairs
 from repro.mac.frames import FrameKind
 from repro.phy.params import dot11a
 from repro.runtime import (
+    QUARANTINE_DIRNAME,
     ResultCache,
     canonical,
     code_version_token,
     map_over_seeds,
+    result_checksum,
     seed_job,
 )
 
@@ -33,7 +35,13 @@ def test_hit_on_identical_spec(tmp_path):
     cache.put(spec, RESULT)
     # A freshly constructed but identical spec must hit.
     assert cache.get(make_spec()) == RESULT
-    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "errors": 0}
+    assert cache.stats() == {
+        "hits": 1,
+        "misses": 1,
+        "stores": 1,
+        "errors": 0,
+        "quarantined": 0,
+    }
 
 
 def test_miss_on_changed_kwarg_seed_or_duration(tmp_path):
@@ -75,6 +83,70 @@ def test_entry_with_wrong_shape_is_a_miss(tmp_path):
     cache.path_for(spec).write_text(json.dumps({"result": [1, 2, 3]}))
     with pytest.warns(RuntimeWarning, match="corrupted"):
         assert cache.get(spec) is None
+
+
+def test_truncated_entry_is_quarantined_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    cache.put(spec, RESULT)
+    path = cache.path_for(spec)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])  # torn write
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        assert cache.get(spec) is None
+    # The corrupt file was moved aside, not left in place to recur.
+    assert not path.exists()
+    assert (tmp_path / QUARANTINE_DIRNAME / path.name).exists()
+    assert cache.stats()["quarantined"] == 1
+    cache.put(spec, RESULT)
+    assert cache.get(spec) == RESULT  # repaired entry is clean
+
+
+def test_wrong_checksum_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    cache.put(spec, RESULT)
+    path = cache.path_for(spec)
+    payload = json.loads(path.read_text())
+    payload["result"]["goodput_R0"] = 999.0  # bit-flip without checksum update
+    path.write_text(json.dumps(payload))
+    with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+        assert cache.get(spec) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_entry_missing_checksum_field_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    cache.put(spec, RESULT)
+    path = cache.path_for(spec)
+    payload = json.loads(path.read_text())
+    del payload["checksum"]  # entry written by a pre-checksum cache
+    path.write_text(json.dumps(payload))
+    with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+        assert cache.get(spec) is None
+
+
+def test_cache_dir_deleted_mid_run_recomputes(tmp_path):
+    import shutil
+
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir)
+    job = seed_job(run_nav_pairs, duration_s=0.2, transport="udp")
+    first = map_over_seeds(job, (1,), cache=cache)
+    shutil.rmtree(cache_dir)  # the rug-pull: someone rm -rf'd the cache
+    second = map_over_seeds(job, (1,), cache=cache)  # recomputes, re-stores
+    assert second == first
+    assert cache.stats()["stores"] == 2
+    assert cache.get(job.with_seed(1)) == first[1]  # directory was recreated
+
+
+def test_checksums_roundtrip_via_result_checksum(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    cache.put(spec, RESULT)
+    payload = json.loads(cache.path_for(spec).read_text())
+    assert payload["checksum"] == result_checksum(RESULT)
+    assert payload["checksum"] == result_checksum(dict(reversed(RESULT.items())))
 
 
 def test_map_over_seeds_uses_cache(tmp_path):
