@@ -67,10 +67,19 @@ class RunSettings:
     seeds: Sequence[int] = FULL_SEEDS
     mode: str = "full"
     telemetry: bool = False
+    #: Simulation backend name ("scalar", "vectorized") or None to inherit
+    #: the ambient selection (:func:`repro.sim.backend.use_backend`).  Every
+    #: scenario the experiment builds picks it up — runner signatures stay
+    #: unchanged because selection is ambient.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "quick"):
             raise ValueError(f"mode must be 'full' or 'quick', got {self.mode!r}")
+        if self.backend is not None:
+            from repro.sim.backend import resolve_backend
+
+            resolve_backend(self.backend)  # fail fast on unknown/unavailable
         object.__setattr__(self, "seeds", tuple(self.seeds))
 
     @property
@@ -142,11 +151,7 @@ def experiment_api(
     body stays reachable as ``run.__wrapped__``.
     """
 
-    @functools.wraps(fn)
-    def run(
-        settings: "RunSettings | bool | None" = None, quick: "bool | None" = None
-    ) -> ExperimentResult:
-        resolved = resolve_settings(settings, quick)
+    def _body(resolved: RunSettings) -> ExperimentResult:
         if not resolved.telemetry:
             return fn(resolved)
         from repro.obs import MetricsRegistry, capture
@@ -156,6 +161,18 @@ def experiment_api(
             result = fn(resolved)
         result.telemetry = registry.snapshot(experiment=fn.__module__.rsplit(".", 1)[-1])
         return result
+
+    @functools.wraps(fn)
+    def run(
+        settings: "RunSettings | bool | None" = None, quick: "bool | None" = None
+    ) -> ExperimentResult:
+        resolved = resolve_settings(settings, quick)
+        if resolved.backend is None:
+            return _body(resolved)
+        from repro.sim.backend import use_backend
+
+        with use_backend(resolved.backend):
+            return _body(resolved)
 
     return run
 

@@ -22,8 +22,9 @@ from repro.net.node import Node
 from repro.net.wired import WiredLink
 from repro.obs import MetricsRegistry, current_registry, sweep_scenario
 from repro.phy.error import BitErrorModel
-from repro.phy.medium import Medium
+from repro.phy.medium import Medium, VectorizedMedium
 from repro.phy.params import PhyParams, dot11b
+from repro.sim.backend import SimBackend, resolve_backend
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
@@ -52,24 +53,41 @@ class Scenario:
         ranges: tuple[float, float] | None = None,
         rssi_jitter_db: float = 0.0,
         telemetry: "MetricsRegistry | bool | None" = None,
+        backend: "SimBackend | str | None" = None,
     ) -> None:
         self.phy = phy if phy is not None else dot11b()
         self.sim = Simulator()
         self.streams = RngStreams(seed)
         self.rts_enabled = rts_enabled
         self.error_model = BitErrorModel(default_ber=default_ber)
+        #: Resolved simulation backend.  ``None`` inherits the ambient
+        #: selection (:func:`repro.sim.backend.use_backend`), so experiment
+        #: runners and campaign builders pick up ``--backend`` without
+        #: signature changes; an explicit name/``SimBackend`` overrides.
+        self.backend: SimBackend = resolve_backend(backend)
         jitter = None
         if rssi_jitter_db > 0:
             sigma = rssi_jitter_db
             jitter = lambda rng: rng.gauss(0.0, sigma)  # noqa: E731
-        self.medium = Medium(
-            self.sim,
-            self.phy,
-            self.streams.stream("phy.medium"),
-            error_model=self.error_model,
-            capture_enabled=capture_enabled,
-            rssi_jitter=jitter,
-        )
+        if self.backend.vector_phy:
+            self.medium = VectorizedMedium(
+                self.sim,
+                self.phy,
+                self.streams.stream("phy.medium"),
+                error_model=self.error_model,
+                capture_enabled=capture_enabled,
+                rssi_jitter=jitter,
+                rng_block=self.backend.rng_block,
+            )
+        else:
+            self.medium = Medium(
+                self.sim,
+                self.phy,
+                self.streams.stream("phy.medium"),
+                error_model=self.error_model,
+                capture_enabled=capture_enabled,
+                rssi_jitter=jitter,
+            )
         if ranges is not None:
             self.medium.configure_ranges(*ranges)
         self.nodes: dict[str, Node] = {}
@@ -147,6 +165,7 @@ class Scenario:
             cw_min=cw_min,
             cw_max=cw_max,
             eifs_enabled=eifs_enabled,
+            dcf_tables=self.backend.dcf_tables,
         )
         if self.obs is not None:
             mac.obs = self.obs
@@ -341,6 +360,22 @@ class Scenario:
         return self.fault_injector
 
     # ---------------------------------------------------------------- run ----
+
+    def warm_caches(self) -> None:
+        """Precompute per-sender link geometry before the first frame flies.
+
+        Purely a cache warm — the same tables are built lazily on first
+        transmit otherwise, with identical contents (no RNG is involved), so
+        running this changes wall time, never behavior.  The perf harness
+        calls it so timed regions measure the event loop, not one-time
+        O(nodes^2) topology setup.
+        """
+        medium = self.medium
+        for radio in medium.radios:
+            medium._reach_from(radio)
+            hearers_from = getattr(medium, "_hearers_from", None)
+            if hearers_from is not None:
+                hearers_from(radio)
 
     def run(self, duration_s: float) -> None:
         """Advance the simulation by ``duration_s`` seconds.

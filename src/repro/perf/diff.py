@@ -1,0 +1,312 @@
+"""Cross-backend differential-testing harness.
+
+The ``vectorized`` backend's license to exist is the equivalence contract
+in :mod:`repro.sim.backend`: replay the reference (``scalar``) behavior
+*byte for byte* or register its own golden set.  This module is the
+enforcement machinery — it runs the same seeded workload on two (or more)
+backends and compares the strongest evidence the simulator can produce:
+
+* **Frame traces** — every transmission, serialized exactly like the
+  committed ``tests/golden/*.jsonl`` files (same
+  :meth:`repro.stats.trace.TraceRecord.to_dict` JSON, sorted keys).  The
+  first diverging line is reported with both renderings, so a mismatch
+  pinpoints the frame, not just the failure.
+* **Campaign-style metrics** — the scenario's metric dict, compared for
+  exact float equality (never ``pytest.approx``): equal seeds must produce
+  equal floats or the backends are not interchangeable in the result cache.
+* **Event counts** — ``Simulator.events_processed``; a backend that
+  schedules even one extra no-op event has diverged, whatever the traces
+  say.
+
+Two entry points: :func:`diff_scenario` compares a registered perf scenario
+(optionally with a :class:`repro.faults.FaultPlan` installed — the fault
+subsystem's RNG streams are part of the contract too), and
+:func:`diff_experiment` compares a full registered experiment artifact via
+its canonical :meth:`~repro.stats.summary.ExperimentResult.to_json`
+document.  ``repro diff`` (CLI) and ``tests/test_backend_diff.py`` /
+``tests/test_diff_fuzz.py`` drive both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.perf.golden import GOLDEN_TRACE_RUNS
+from repro.perf.scenarios import SCENARIOS, get_scenario
+
+US_PER_S = 1_000_000.0
+
+#: The backend pair ``repro diff`` compares when none is named explicitly.
+DEFAULT_BACKENDS: tuple[str, str] = ("scalar", "vectorized")
+
+
+@dataclass(frozen=True)
+class BackendRun:
+    """One scenario executed on one backend: the comparable evidence."""
+
+    backend: str
+    trace_lines: tuple[str, ...]
+    metrics: Mapping[str, float]
+    events: int
+
+    @property
+    def fingerprint(self) -> str:
+        """Digest over trace bytes, metrics and event count.
+
+        Two runs are interchangeable iff their fingerprints match; the
+        digest is what the fuzz tier compares when keeping full traces for
+        every case would be wasteful.
+        """
+        digest = hashlib.sha256()
+        for line in self.trace_lines:
+            digest.update(line.encode())
+            digest.update(b"\n")
+        digest.update(json.dumps(dict(self.metrics), sort_keys=True).encode())
+        digest.update(str(self.events).encode())
+        return digest.hexdigest()[:16]
+
+
+def run_traced(
+    name: str,
+    backend: str | None = None,
+    seed: int | None = None,
+    duration_s: float | None = None,
+    fault_plan: Any = None,
+) -> BackendRun:
+    """Run one perf scenario on one backend with a tracer attached.
+
+    Seed and duration default to the scenario's golden-trace point
+    (:data:`~repro.perf.golden.GOLDEN_TRACE_RUNS`) when it has one, else
+    seed 1 and the scenario's registered duration.  ``fault_plan`` (a
+    :class:`repro.faults.FaultPlan`) is installed after build, before the
+    first frame flies — the same ordering the fault golden captures use.
+    """
+    from repro.sim.backend import resolve_backend, use_backend
+    from repro.stats.trace import FrameTracer
+
+    spec = get_scenario(name)
+    default_seed, default_duration = GOLDEN_TRACE_RUNS.get(name, (1, None))
+    if seed is None:
+        seed = default_seed
+    if duration_s is None:
+        duration_s = default_duration if default_duration is not None else spec.duration_s
+    resolved = resolve_backend(backend)
+    with use_backend(resolved):
+        built = spec.build(seed)
+        if fault_plan is not None and not fault_plan.empty:
+            built.scenario.install_faults(fault_plan)
+        tracer = FrameTracer(built.scenario.medium)
+        built.scenario.run(duration_s)
+    lines = tuple(
+        json.dumps(record.to_dict(), sort_keys=True) for record in tracer.records
+    )
+    return BackendRun(
+        backend=resolved.name,
+        trace_lines=lines,
+        metrics=built.metrics(duration_s * US_PER_S),
+        events=built.scenario.sim.events_processed,
+    )
+
+
+def diff_backend_runs(reference: BackendRun, candidate: BackendRun) -> list[str]:
+    """Exact comparison of two runs; returns human-readable differences.
+
+    Reports the *first* diverging trace line (with both renderings) rather
+    than every one — after the first divergence the simulations are in
+    different states and subsequent differences are noise.
+    """
+    problems: list[str] = []
+    a, b = reference.trace_lines, candidate.trace_lines
+    if a != b:
+        if len(a) != len(b):
+            problems.append(
+                f"trace length differs: {len(a)} records ({reference.backend}) "
+                f"vs {len(b)} ({candidate.backend})"
+            )
+        for index, (line_a, line_b) in enumerate(zip(a, b)):
+            if line_a != line_b:
+                problems.append(
+                    f"trace diverges at record {index + 1}:\n"
+                    f"  {reference.backend:>10}: {line_a}\n"
+                    f"  {candidate.backend:>10}: {line_b}"
+                )
+                break
+    for key in sorted(set(reference.metrics) | set(candidate.metrics)):
+        value_a = reference.metrics.get(key)
+        value_b = candidate.metrics.get(key)
+        if value_a != value_b:
+            problems.append(
+                f"metric {key}: {value_a!r} ({reference.backend}) "
+                f"!= {value_b!r} ({candidate.backend})"
+            )
+    if reference.events != candidate.events:
+        problems.append(
+            f"events_processed: {reference.events} ({reference.backend}) "
+            f"!= {candidate.events} ({candidate.backend})"
+        )
+    return problems
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential comparison (scenario or experiment)."""
+
+    target: str
+    kind: str  # "scenario" | "experiment"
+    backends: tuple[str, ...]
+    problems: list[str] = field(default_factory=list)
+    #: Per-backend evidence digest (trace+metrics+events for scenarios, the
+    #: canonical result document for experiments).  Equal digests <=> ok.
+    fingerprints: dict[str, str] = field(default_factory=dict)
+    seed: int | None = None
+    duration_s: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary_line(self) -> str:
+        pair = " vs ".join(self.backends)
+        extra = ""
+        if self.seed is not None:
+            extra = f" (seed {self.seed}, {self.duration_s:g}s)"
+        verdict = "identical" if self.ok else f"{len(self.problems)} difference(s)"
+        return f"{self.kind} {self.target}{extra}: {pair} — {verdict}"
+
+
+def diff_scenario(
+    name: str,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    seed: int | None = None,
+    duration_s: float | None = None,
+    fault_plan: Any = None,
+) -> DiffReport:
+    """Run one perf scenario on every backend and compare all to the first."""
+    if len(backends) < 2:
+        raise ValueError(f"need at least two backends to diff, got {list(backends)}")
+    runs = [
+        run_traced(name, backend=b, seed=seed, duration_s=duration_s, fault_plan=fault_plan)
+        for b in backends
+    ]
+    reference = runs[0]
+    problems: list[str] = []
+    for candidate in runs[1:]:
+        problems.extend(diff_backend_runs(reference, candidate))
+    spec = get_scenario(name)
+    default_seed, default_duration = GOLDEN_TRACE_RUNS.get(name, (1, None))
+    return DiffReport(
+        target=name,
+        kind="scenario",
+        backends=tuple(run.backend for run in runs),
+        problems=problems,
+        fingerprints={run.backend: run.fingerprint for run in runs},
+        seed=seed if seed is not None else default_seed,
+        duration_s=duration_s
+        if duration_s is not None
+        else (default_duration if default_duration is not None else spec.duration_s),
+    )
+
+
+def _first_document_difference(name_a: str, doc_a: str, name_b: str, doc_b: str) -> str:
+    """Locate the first difference between two ExperimentResult documents."""
+    parsed_a, parsed_b = json.loads(doc_a), json.loads(doc_b)
+    rows_a, rows_b = parsed_a.get("rows", []), parsed_b.get("rows", [])
+    if len(rows_a) != len(rows_b):
+        return f"row count differs: {len(rows_a)} ({name_a}) vs {len(rows_b)} ({name_b})"
+    for index, (row_a, row_b) in enumerate(zip(rows_a, rows_b)):
+        if row_a != row_b:
+            keys = sorted(set(row_a) | set(row_b))
+            for key in keys:
+                if row_a.get(key) != row_b.get(key):
+                    return (
+                        f"row {index} column {key!r}: {row_a.get(key)!r} ({name_a}) "
+                        f"!= {row_b.get(key)!r} ({name_b})"
+                    )
+    return f"documents differ outside rows ({name_a} vs {name_b})"
+
+
+def diff_experiment(
+    experiment_id: str,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    quick: bool = True,
+) -> DiffReport:
+    """Run one registered experiment per backend; compare canonical documents.
+
+    This closes the loop *above* the scenario layer: medians over seeds,
+    runner plumbing, everything ``repro run`` exercises.  Experiments run in
+    quick mode by default (the full paper-scale sweeps take minutes each).
+    """
+    from repro.experiments import get_entry
+    from repro.experiments.common import RunSettings
+
+    if len(backends) < 2:
+        raise ValueError(f"need at least two backends to diff, got {list(backends)}")
+    entry = get_entry(experiment_id)
+    documents: dict[str, str] = {}
+    for backend in backends:
+        settings = RunSettings.for_mode(quick).replace(backend=backend)
+        documents[backend] = entry.runner(settings).to_json()
+    reference = backends[0]
+    problems = []
+    for backend in backends[1:]:
+        if documents[backend] != documents[reference]:
+            problems.append(
+                _first_document_difference(
+                    reference, documents[reference], backend, documents[backend]
+                )
+            )
+    return DiffReport(
+        target=experiment_id,
+        kind="experiment",
+        backends=tuple(backends),
+        problems=problems,
+        fingerprints={
+            backend: hashlib.sha256(doc.encode()).hexdigest()[:16]
+            for backend, doc in documents.items()
+        },
+    )
+
+
+def diff_targets(
+    targets: Iterable[str] | None = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    seed: int | None = None,
+    duration_s: float | None = None,
+    quick: bool = True,
+    progress: Any = None,
+) -> list[DiffReport]:
+    """Diff a mixed list of perf scenarios and experiment ids.
+
+    ``None`` means every registered perf scenario (the CLI default — the
+    experiments tier is opt-in because quick mode still simulates seconds
+    of airtime per experiment).  Unknown names raise the experiment
+    registry's readable ``KeyError``.
+    """
+    say = progress if progress is not None else lambda _m: None
+    selected = list(targets) if targets is not None else list(SCENARIOS)
+    reports = []
+    for target in selected:
+        if target in SCENARIOS:
+            report = diff_scenario(
+                target, backends=backends, seed=seed, duration_s=duration_s
+            )
+        else:
+            report = diff_experiment(target, backends=backends, quick=quick)
+        reports.append(report)
+        say(report.summary_line())
+    return reports
+
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "BackendRun",
+    "DiffReport",
+    "diff_backend_runs",
+    "diff_experiment",
+    "diff_scenario",
+    "diff_targets",
+    "run_traced",
+]

@@ -40,30 +40,110 @@ GOLDEN_TRACE_RUNS: dict[str, tuple[int, float]] = {
 }
 
 
-def trace_filename(name: str) -> str:
-    seed, duration_s = GOLDEN_TRACE_RUNS[name]
-    return f"trace_{name}_seed{seed}_{int(duration_s * 1000)}ms.jsonl"
+def trace_filename(name: str, backend_suffix: str = "") -> str:
+    """Committed filename for one golden trace.
 
-
-def capture_trace(name: str, out_path: str | Path) -> int:
-    """Run one golden scenario with a tracer attached; write JSONL.
-
-    Returns the number of trace records written.
+    ``backend_suffix`` carves out a per-backend golden set: a backend that
+    registered :attr:`repro.sim.backend.SimBackend.trace_suffix` (i.e. one
+    that does *not* promise byte-identical replay of the reference) stores
+    and verifies its own files instead of the scalar ones.  The empty
+    suffix — the reference set, which ``vectorized`` also replays — keeps
+    the historical filenames.
     """
     seed, duration_s = GOLDEN_TRACE_RUNS[name]
-    built = get_scenario(name).build(seed)
-    tracer = FrameTracer(built.scenario.medium)
-    built.scenario.run(duration_s)
+    infix = f"_{backend_suffix}" if backend_suffix else ""
+    return f"trace_{name}{infix}_seed{seed}_{int(duration_s * 1000)}ms.jsonl"
+
+
+def capture_trace(name: str, out_path: str | Path, backend: str | None = None) -> int:
+    """Run one golden scenario with a tracer attached; write JSONL.
+
+    Returns the number of trace records written.  ``backend`` selects the
+    simulation backend for the run (None = ambient).
+    """
+    from repro.sim.backend import use_backend
+
+    seed, duration_s = GOLDEN_TRACE_RUNS[name]
+    with use_backend(backend):
+        built = get_scenario(name).build(seed)
+        tracer = FrameTracer(built.scenario.medium)
+        built.scenario.run(duration_s)
     return tracer.to_jsonl(out_path)
 
 
-def capture_all_traces(out_dir: str | Path) -> dict[str, int]:
+def capture_all_traces(out_dir: str | Path, backend: str | None = None) -> dict[str, int]:
     """Capture every golden trace into ``out_dir``; returns record counts."""
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     return {
-        name: capture_trace(name, out_dir / trace_filename(name))
+        name: capture_trace(name, out_dir / trace_filename(name), backend=backend)
         for name in GOLDEN_TRACE_RUNS
+    }
+
+
+# --------------------------------------------------- fault golden traces --
+
+#: Fault-enabled golden points: ``key -> (scenario, seed, duration_s)``.
+#: Each pins one sim-plane fault model end to end — the model's dedicated
+#: RNG stream, its delivery/scheduling hooks *and* the unchanged base
+#: machinery around it — so a backend cannot be bit-exact on clean channels
+#: while silently reordering draws under faults.
+GOLDEN_FAULT_RUNS: dict[str, tuple[str, int, float]] = {
+    "ge_channel": ("fig1_nav_udp", 3, 0.25),
+    "jammer": ("fig8_nav_tcp", 3, 0.25),
+}
+
+
+def fault_plan(key: str):
+    """The committed :class:`repro.faults.FaultPlan` for one fault golden.
+
+    Parameters are chosen so the fault actually bites within 250 ms of
+    simulated time: the Gilbert–Elliott chain fades several times per trace
+    (mean good run 20 frames, bad run ~3 at 80% FER) and the jammer fires a
+    2 ms burst every 20 ms starting at 1 ms.
+    """
+    from repro.faults import FaultPlan, GilbertElliottConfig, JammerConfig
+
+    if key == "ge_channel":
+        return FaultPlan(channel=GilbertElliottConfig())
+    if key == "jammer":
+        return FaultPlan(jammer=JammerConfig())
+    raise KeyError(
+        f"unknown fault golden {key!r}; known: {sorted(GOLDEN_FAULT_RUNS)}"
+    )
+
+
+def fault_trace_filename(key: str, backend_suffix: str = "") -> str:
+    scenario, seed, duration_s = GOLDEN_FAULT_RUNS[key]
+    infix = f"_{backend_suffix}" if backend_suffix else ""
+    return (
+        f"trace_fault_{key}_{scenario}{infix}_seed{seed}"
+        f"_{int(duration_s * 1000)}ms.jsonl"
+    )
+
+
+def capture_fault_trace(key: str, out_path: str | Path, backend: str | None = None) -> int:
+    """Run one fault golden point with a tracer attached; write JSONL."""
+    from repro.sim.backend import use_backend
+
+    scenario, seed, duration_s = GOLDEN_FAULT_RUNS[key]
+    with use_backend(backend):
+        built = get_scenario(scenario).build(seed)
+        built.scenario.install_faults(fault_plan(key))
+        tracer = FrameTracer(built.scenario.medium)
+        built.scenario.run(duration_s)
+    return tracer.to_jsonl(out_path)
+
+
+def capture_all_fault_traces(
+    out_dir: str | Path, backend: str | None = None
+) -> dict[str, int]:
+    """Capture every fault golden trace into ``out_dir``; record counts."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return {
+        key: capture_fault_trace(key, out_dir / fault_trace_filename(key), backend=backend)
+        for key in GOLDEN_FAULT_RUNS
     }
 
 
@@ -168,12 +248,17 @@ def compare_metrics(
 
 __all__ = [
     "GOLDEN_CAMPAIGNS",
+    "GOLDEN_FAULT_RUNS",
     "GOLDEN_TRACE_RUNS",
     "METRICS_FILENAME",
+    "capture_all_fault_traces",
     "capture_all_traces",
+    "capture_fault_trace",
     "capture_metrics",
     "capture_trace",
     "compare_metrics",
+    "fault_plan",
+    "fault_trace_filename",
     "run_golden_campaigns",
     "scenario_names",
     "trace_filename",

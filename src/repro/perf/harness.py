@@ -57,16 +57,20 @@ def time_scenario(
     duration_s: float | None = None,
     clock: Callable[[], float] = time.perf_counter,
     telemetry: bool = False,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Build and run one scenario ``repeats`` times; return its bench entry.
 
     Only the event loop (``Simulator.run``) is timed — scenario construction
-    is excluded, so the number tracks the per-seed inner-loop cost that
-    dominates ``run_all.py`` and campaign grids.  ``telemetry=True`` builds
-    each run inside a live :func:`repro.obs.capture`, which is how the 2x
-    regression gate measures the instrumented (hooks-on) code path.
+    (including any backend precomputation: reach tables, DCF transition
+    tables) is excluded, so the number tracks the per-seed inner-loop cost
+    that dominates ``run_all.py`` and campaign grids.  ``telemetry=True``
+    builds each run inside a live :func:`repro.obs.capture`, which is how
+    the 2x regression gate measures the instrumented (hooks-on) code path.
+    ``backend`` selects a simulation backend for the build (None = ambient).
     """
     from repro.obs import MetricsRegistry, capture
+    from repro.sim.backend import use_backend
 
     spec = get_scenario(name)
     if repeats < 1:
@@ -79,7 +83,9 @@ def time_scenario(
     metrics: dict[str, float] = {}
     for _ in range(repeats):
         with capture(MetricsRegistry(enabled=telemetry)):
-            built = spec.build(seed)
+            with use_backend(backend):
+                built = spec.build(seed)
+            built.scenario.warm_caches()
             sim = built.scenario.sim
             start = clock()
             built.scenario.run(sim_s)
@@ -104,19 +110,25 @@ def run_benchmark(
     duration_s: float | None = None,
     progress: Callable[[str], None] | None = None,
     telemetry: bool = False,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Time every requested scenario and assemble the BENCH_core document.
 
     ``telemetry=True`` times the instrumented code path (live metrics
     registry attached to every scenario) and records that in the document.
+    ``backend`` selects the simulation backend; the resolved name is
+    recorded in the document so a baseline file always says which backend
+    produced it.
     """
+    from repro.sim.backend import resolve_backend
+
     selected = list(names) if names else list(SCENARIOS)
     say = progress if progress is not None else lambda _m: None
     scenarios: dict[str, Any] = {}
     for name in selected:
         entry = time_scenario(
             name, seed=seed, repeats=repeats, duration_s=duration_s,
-            telemetry=telemetry,
+            telemetry=telemetry, backend=backend,
         )
         scenarios[name] = entry
         say(
@@ -129,6 +141,7 @@ def run_benchmark(
         "repeats": repeats,
         "python": platform.python_version(),
         "telemetry": telemetry,
+        "backend": resolve_backend(backend).name,
         "scenarios": scenarios,
     }
 
@@ -163,7 +176,10 @@ def check_regression(
 
     A scenario fails when its wall time exceeds ``factor`` times the baseline
     wall time.  Scenarios absent from the baseline are skipped (new scenarios
-    must not break old gates).
+    must not break old gates).  Each message names the regressed scenario and
+    quantifies the slowdown — both the wall-clock ratio and the events/s
+    drop when the baseline recorded one — so a CI failure is diagnosable
+    from the log alone (``tests/test_perf_harness.py`` pins the format).
     """
     problems = []
     base_scenarios = baseline.get("scenarios", {})
@@ -173,10 +189,19 @@ def check_regression(
             continue
         limit = factor * base["wall_s"]
         if entry["wall_s"] > limit:
-            problems.append(
-                f"{name}: {entry['wall_s']:.3f}s exceeds {factor:g}x baseline "
-                f"({base['wall_s']:.3f}s -> limit {limit:.3f}s)"
+            slowdown = entry["wall_s"] / base["wall_s"]
+            message = (
+                f"{name}: regressed {slowdown:.2f}x — wall {entry['wall_s']:.3f}s "
+                f"vs baseline {base['wall_s']:.3f}s (limit {limit:.3f}s "
+                f"at factor {factor:g})"
             )
+            base_rate = base.get("events_per_s")
+            if base_rate:
+                message += (
+                    f"; {entry.get('events_per_s', 0.0):,.0f} events/s "
+                    f"vs baseline {base_rate:,.0f}"
+                )
+            problems.append(message)
     return problems
 
 

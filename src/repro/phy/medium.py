@@ -340,3 +340,143 @@ class Medium:
             rssi_db += self.rssi_jitter(self.rng)
         if receiver.mac is not None:
             receiver.mac.phy_receive(frame, corrupted, addr_ok, rssi_db)
+
+
+#: Sentinel distinguishing "no cached plan yet" from a cached ``None``
+#: (clean without a draw) in :class:`VectorizedMedium`'s plan cache.
+_NO_PLAN = object()
+
+
+class VectorizedMedium(Medium):
+    """:class:`Medium` with batch-precomputed hot paths (``vectorized`` backend).
+
+    Observable behavior is **bit-identical** to the base class — the golden
+    traces and :mod:`repro.perf.diff` enforce it.  Three substitutions:
+
+    * Per-frame corruption/address uniforms come from
+      :class:`repro.sim.rng.NumpyBlockUniform` (MT19937 state transplanted
+      into numpy; block refills replay the scalar stream exactly).  With an
+      RSSI-jitter callable the medium keeps the scalar draw-on-demand
+      wrapper, because jitter interleaves Gaussian draws on the same stream.
+    * ``transmit`` iterates a **prefiltered hearer table**
+      (:func:`repro.phy.vectorized.hearer_table`): the per-receiver
+      threshold comparisons move out of the per-frame loop into one numpy
+      compare per ``(sender, thresholds)``, and the ``_on_tx_start`` /
+      ``_on_tx_end`` bound methods are hoisted once per entry.
+    * ``_deliver`` replaces the table-walk in
+      :meth:`BitErrorModel.is_corrupted` with a flat **corruption-plan
+      cache** keyed ``(src, dst, size, is_data, rate)``, invalidated by the
+      error model's mutation epoch so mid-run ``set_ber``/``set_data_fer``
+      (and wholesale model replacement) stay correct.
+    """
+
+    def __init__(self, *args: Any, rng_block: int = 4096, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        if self.rssi_jitter is None:
+            from repro.sim.rng import NumpyBlockUniform
+
+            self._uniform = NumpyBlockUniform(self.rng, block=rng_block)
+        # sender -> [(on_tx_start, on_tx_end, rss, delay, decodable)] with
+        # sub-cs receivers already dropped; valid for _hearers_key thresholds.
+        self._hearers: dict[Radio, list[tuple]] = {}
+        self._hearers_key = (self.cs_threshold, self.rx_threshold)
+        # (src, dst, size, is_data, rate) -> corruption probability or None.
+        self._plan: dict[tuple, Any] = {}
+        self._plan_key: tuple | None = None
+
+    def _attach(self, radio: Radio) -> None:
+        super()._attach(radio)
+        self._hearers.clear()
+
+    def _hearers_from(self, sender: Radio) -> list[tuple]:
+        key = (self.cs_threshold, self.rx_threshold)
+        if key != self._hearers_key:  # configure_ranges() ran mid-scenario
+            self._hearers.clear()
+            self._hearers_key = key
+        hearers = self._hearers.get(sender)
+        if hearers is None:
+            from repro.phy.vectorized import hearer_table
+
+            hearers = [
+                (receiver._on_tx_start, receiver._on_tx_end, rss, delay, decodable)
+                for receiver, rss, delay, decodable in hearer_table(
+                    self._reach_from(sender), key[0], key[1]
+                )
+            ]
+            self._hearers[sender] = hearers
+        return hearers
+
+    def transmit(self, sender: Radio, frame: Any, duration: float) -> None:
+        # Mirror of Medium.transmit with the threshold filter precomputed.
+        if sender.transmitting:
+            raise RuntimeError(f"{sender.name}: already transmitting")
+        if duration <= 0:
+            raise ValueError(f"non-positive airtime: {duration}")
+        sim = self.sim
+        tx = _Transmission(sender, frame, sim.now, sim.now + duration)
+        self.frames_sent += 1
+        obs = self.obs
+        if obs is not None:
+            obs.inc(f"phy.{sender.name}.tx_frames")
+            obs.inc(f"phy.{sender.name}.tx_airtime_us", duration)
+        sender._begin_transmit(tx.end)
+        call_after = sim.call_after
+        call_after(duration, sender._end_transmit)
+        for on_tx_start, on_tx_end, rss, delay, decodable in self._hearers_from(
+            sender
+        ):
+            call_after(delay, on_tx_start, tx, rss, decodable)
+            call_after(duration + delay, on_tx_end, tx, rss)
+
+    def _deliver(self, tx: _Transmission, receiver: Radio, lock: _Lock) -> None:
+        # Mirror of Medium._deliver with the corruption roll cached flat.
+        frame = tx.frame
+        corrupted = lock.collided
+        if not corrupted and not self.error_model.trivial:
+            model = self.error_model
+            model_key = (id(model), model._epoch, model.default_ber)
+            if model_key != self._plan_key:
+                self._plan.clear()
+                self._plan_key = model_key
+            plan_key = (
+                tx.sender.name,
+                receiver.name,
+                frame.size_bytes,
+                frame.kind.name == "DATA",
+                getattr(frame, "rate", None),
+            )
+            plan = self._plan.get(plan_key, _NO_PLAN)
+            if plan is _NO_PLAN:
+                plan = self._plan[plan_key] = model.corruption_plan(*plan_key)
+            if plan is not None:
+                corrupted = self._uniform.random() < plan
+        addr_ok = True
+        if corrupted:
+            uniform = self._uniform
+            addr_ok = (
+                uniform.random() < self.addr_dst_survival
+                and uniform.random() < self.addr_src_survival
+            )
+        faults = self.faults
+        if faults is not None:
+            corrupted, addr_ok = faults.on_deliver(
+                tx, receiver, frame, corrupted, addr_ok
+            )
+        obs = self.obs
+        if obs is not None:
+            name = receiver.name
+            obs.inc(f"phy.{name}.rx_frames")
+            if corrupted:
+                obs.inc(f"phy.{name}.rx_corrupted")
+                if lock.collided:
+                    obs.inc(f"phy.{name}.rx_collisions")
+                else:
+                    obs.inc(f"phy.{name}.rx_fer_drops")
+        rss = lock.rss
+        rssi_db = self._rss_db.get(rss)
+        if rssi_db is None:
+            rssi_db = self._rss_db[rss] = rss_to_db(rss)
+        if self.rssi_jitter is not None:
+            rssi_db += self.rssi_jitter(self.rng)
+        if receiver.mac is not None:
+            receiver.mac.phy_receive(frame, corrupted, addr_ok, rssi_db)

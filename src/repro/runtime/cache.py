@@ -38,18 +38,12 @@ QUARANTINE_DIRNAME = "quarantine"
 #: whenever results must be recomputed for a reason the source digest cannot
 #: see — e.g. the simulation-core fast path, which is bit-exact for equal
 #: seeds but changed which module computes each cached quantity.
-CODE_VERSION_SALT = "core-fastpath-1"
+CODE_VERSION_SALT = "backend-vectorized-2"
 
 
 @lru_cache(maxsize=1)
-def code_version_token() -> str:
-    """Digest of every ``repro`` source file: the cache's version fence.
-
-    Any edit anywhere in the package changes the token, so stale results can
-    never be served after a code change.  Coarse but safe — and cheap enough
-    to compute once per process.  ``CODE_VERSION_SALT`` is folded in first,
-    so an epoch bump invalidates every entry even with identical sources.
-    """
+def _source_token() -> str:
+    """Digest of salt + every ``repro`` source file (backend-independent)."""
     import repro
 
     root = Path(repro.__file__).resolve().parent
@@ -61,6 +55,32 @@ def code_version_token() -> str:
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def code_version_token() -> str:
+    """Digest of every ``repro`` source file: the cache's version fence.
+
+    Any edit anywhere in the package changes the token, so stale results can
+    never be served after a code change.  Coarse but safe — and cheap enough
+    to compute once per process (the source digest is memoized).
+    ``CODE_VERSION_SALT`` is folded in first, so an epoch bump invalidates
+    every entry even with identical sources.
+
+    The ambient simulation backend's ``cache_key`` is folded in last: a
+    backend that is bit-exact against the reference contributes an empty key
+    (equal seeds produce equal floats, so scalar and vectorized runs share
+    entries interchangeably), while a backend that registered its own golden
+    set gets its own cache namespace — per the equivalence contract in
+    :mod:`repro.sim.backend`, it may never serve reference-keyed results.
+    """
+    from repro.sim.backend import current_backend
+
+    token = _source_token()
+    backend_key = current_backend().cache_key
+    if not backend_key:
+        return token
+    digest = hashlib.sha256(f"{token}:{backend_key}".encode())
     return digest.hexdigest()[:16]
 
 

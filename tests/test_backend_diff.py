@@ -1,0 +1,290 @@
+"""Cross-backend differential gate for the vectorized simulation backend.
+
+Three layers of enforcement, mirroring the equivalence contract in
+:mod:`repro.sim.backend`:
+
+1. **Golden replay** — the vectorized backend must reproduce the committed
+   scalar-captured traces and campaign metrics byte-for-byte / float-exact
+   (it registered no ``trace_suffix``, so it gets no golden set of its own).
+2. **Differential harness** — :mod:`repro.perf.diff` must catch every kind
+   of divergence it claims to (trace bytes, metrics, event counts,
+   experiment documents), proven against deliberately-corrupted runs.
+3. **Selection plumbing** — registry lookup, ambient ContextVar selection,
+   ``Scenario(backend=...)``, ``RunSettings.backend`` and the
+   backend-keyed result-cache token.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.diff import (
+    BackendRun,
+    diff_backend_runs,
+    diff_experiment,
+    diff_scenario,
+    run_traced,
+)
+from repro.perf.golden import (
+    GOLDEN_TRACE_RUNS,
+    METRICS_FILENAME,
+    capture_trace,
+    compare_metrics,
+    run_golden_campaigns,
+    trace_filename,
+)
+from repro.sim.backend import (
+    BACKENDS,
+    SimBackend,
+    backend_names,
+    current_backend,
+    numpy_available,
+    resolve_backend,
+    use_backend,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+
+# ---------------------------------------------------------- golden replay --
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", sorted(GOLDEN_TRACE_RUNS))
+def test_vectorized_replays_scalar_goldens_byte_for_byte(name, tmp_path):
+    replay_path = tmp_path / trace_filename(name)
+    records = capture_trace(name, replay_path, backend="vectorized")
+    assert records > 100
+    golden = (GOLDEN_DIR / trace_filename(name)).read_bytes()
+    replay = replay_path.read_bytes()
+    if golden != replay:
+        g_lines = golden.decode().splitlines()
+        r_lines = replay.decode().splitlines()
+        for i, (g, r) in enumerate(zip(g_lines, r_lines)):
+            assert g == r, (
+                f"{name}: vectorized diverges at trace record {i}:\n"
+                f"  golden:     {g}\n  vectorized: {r}"
+            )
+        pytest.fail(
+            f"{name}: traces differ in length ({len(g_lines)} vs {len(r_lines)})"
+        )
+
+
+@needs_numpy
+def test_vectorized_campaign_metrics_are_bit_identical(tmp_path):
+    """Full-figure float equality through the real campaign runner."""
+    golden = json.loads((GOLDEN_DIR / METRICS_FILENAME).read_text())
+    with use_backend("vectorized"):
+        current = run_golden_campaigns(tmp_path)
+    problems = compare_metrics(golden, current)
+    assert not problems, "vectorized campaign metrics diverged:\n" + "\n".join(
+        problems[:20]
+    )
+
+
+# ----------------------------------------------------- differential harness --
+
+
+@needs_numpy
+def test_diff_scenario_reports_identical_backends():
+    report = diff_scenario("fig1_nav_udp", duration_s=0.05)
+    assert report.ok, "\n".join(report.problems)
+    assert report.kind == "scenario"
+    assert report.backends == ("scalar", "vectorized")
+    fingerprints = set(report.fingerprints.values())
+    assert len(fingerprints) == 1, "identical runs must share one fingerprint"
+    assert "identical" in report.summary_line()
+
+
+def _tamper(run: BackendRun, **changes) -> BackendRun:
+    return dataclasses.replace(run, backend="tampered", **changes)
+
+
+def test_diff_backend_runs_catches_every_divergence_kind():
+    reference = run_traced("fig1_nav_udp", backend="scalar", duration_s=0.02)
+    assert diff_backend_runs(reference, _tamper(reference)) == []
+
+    lines = list(reference.trace_lines)
+    lines[3] = lines[3].replace('"sender": "', '"sender": "X')
+    problems = diff_backend_runs(reference, _tamper(reference, trace_lines=tuple(lines)))
+    assert any("trace diverges at record 4" in p for p in problems)
+
+    truncated = _tamper(reference, trace_lines=reference.trace_lines[:-1])
+    problems = diff_backend_runs(reference, truncated)
+    assert any("trace length differs" in p for p in problems)
+
+    metrics = dict(reference.metrics)
+    key = sorted(metrics)[0]
+    metrics[key] += 1.0
+    problems = diff_backend_runs(reference, _tamper(reference, metrics=metrics))
+    assert any(f"metric {key}" in p for p in problems)
+
+    problems = diff_backend_runs(reference, _tamper(reference, events=reference.events + 1))
+    assert any("events_processed" in p for p in problems)
+
+    different_fingerprint = _tamper(reference, events=reference.events + 1)
+    assert different_fingerprint.fingerprint != reference.fingerprint
+
+
+def test_diff_experiment_compares_canonical_documents(monkeypatch):
+    """Document-level diffing, proven against a registry double.
+
+    A fake experiment whose rows depend on the selected backend must be
+    flagged with the exact row/column that diverged; one whose rows do not
+    must pass.  (Real experiments ride the slow fuzz tier — quick mode
+    still simulates seconds of airtime each.)
+    """
+    from repro.stats.summary import ExperimentResult
+
+    def make_entry(divergent):
+        class Entry:
+            @staticmethod
+            def runner(settings):
+                result = ExperimentResult("fake", "d", ["backend_bias", "goodput"])
+                bias = 1.0
+                if divergent and settings.backend == "vectorized":
+                    bias = 2.0
+                result.add_row(backend_bias=bias, goodput=3.25)
+                return result
+
+        return Entry()
+
+    import repro.experiments
+
+    monkeypatch.setattr(
+        repro.experiments, "get_entry", lambda _id: make_entry(divergent=False)
+    )
+    report = diff_experiment("fake")
+    assert report.ok and report.kind == "experiment"
+    assert len(set(report.fingerprints.values())) == 1
+
+    monkeypatch.setattr(
+        repro.experiments, "get_entry", lambda _id: make_entry(divergent=True)
+    )
+    report = diff_experiment("fake")
+    assert not report.ok
+    assert any("row 0 column 'backend_bias'" in p for p in report.problems)
+    assert len(set(report.fingerprints.values())) == 2
+
+    with pytest.raises(ValueError):
+        diff_experiment("fake", backends=["scalar"])
+
+
+# ------------------------------------------------------ selection plumbing --
+
+
+def test_backend_registry_and_resolution():
+    assert backend_names() == ["scalar", "vectorized"]
+    assert BACKENDS["scalar"].is_reference
+    assert not BACKENDS["vectorized"].is_reference
+    assert resolve_backend(None).name == current_backend().name
+    assert resolve_backend("scalar") is BACKENDS["scalar"]
+    assert resolve_backend(BACKENDS["scalar"]) is BACKENDS["scalar"]
+    with pytest.raises(KeyError, match="unknown simulation backend"):
+        resolve_backend("turbo")
+    with pytest.raises(TypeError):
+        resolve_backend(42)
+
+
+def test_use_backend_is_scoped_and_nestable():
+    assert current_backend().name == "scalar"
+    with use_backend("vectorized" if numpy_available() else "scalar") as outer:
+        assert current_backend() is outer
+        with use_backend("scalar"):
+            assert current_backend().name == "scalar"
+        assert current_backend() is outer
+    assert current_backend().name == "scalar"
+
+
+@needs_numpy
+def test_scenario_backend_override_builds_vectorized_medium():
+    from repro.net.scenario import Scenario
+    from repro.phy.medium import Medium, VectorizedMedium
+
+    explicit = Scenario(seed=1, backend="vectorized")
+    assert isinstance(explicit.medium, VectorizedMedium)
+    explicit.add_wireless_node("A")
+    assert explicit.macs["A"]._delay_tables is not None
+
+    ambient = Scenario(seed=1)
+    assert type(ambient.medium) is Medium
+    ambient.add_wireless_node("A")
+    assert ambient.macs["A"]._delay_tables is None
+
+    with use_backend("vectorized"):
+        inherited = Scenario(seed=1)
+    assert isinstance(inherited.medium, VectorizedMedium)
+
+
+def test_run_settings_backend_validates_eagerly():
+    from repro.experiments.common import RunSettings
+
+    assert RunSettings().backend is None
+    assert RunSettings.quick().replace(backend="scalar").backend == "scalar"
+    with pytest.raises(KeyError, match="unknown simulation backend"):
+        RunSettings(backend="turbo")
+
+
+def test_cache_token_shared_for_bit_exact_backends_only():
+    from repro.runtime.cache import code_version_token
+
+    reference = code_version_token()
+    with use_backend("scalar"):
+        assert code_version_token() == reference
+    if numpy_available():
+        # Bit-exact backends are interchangeable in the result cache.
+        with use_backend("vectorized"):
+            assert code_version_token() == reference
+    # A backend with its own golden set gets its own cache namespace.
+    forked = SimBackend("forked", "test-only", trace_suffix="forked")
+    assert forked.cache_key == "backend=forked"
+    with use_backend(forked):
+        assert code_version_token() != reference
+    assert code_version_token() == reference
+
+
+# ----------------------------------------------------------------- CLI ------
+
+
+def test_cli_diff_identical(capsys):
+    from repro.cli import main
+
+    assert main(["diff", "fig1_nav_udp", "--duration", "0.02"]) == 0
+    out = capsys.readouterr()
+    assert "identical across scalar vs vectorized" in out.out
+
+
+def test_cli_diff_rejects_bad_input(capsys):
+    from repro.cli import main
+
+    assert main(["diff", "no_such_target", "--duration", "0.02"]) == 2
+    assert main(["diff", "--backends", "scalar", "scalar"]) == 2
+    assert main(["diff", "--list-backends"]) == 0
+    out = capsys.readouterr()
+    assert "scalar" in out.out and "vectorized" in out.out
+
+
+def test_cli_perf_backend_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "bench.json"
+    code = main(
+        [
+            "perf", "fig1_nav_udp",
+            "--backend", "vectorized" if numpy_available() else "scalar",
+            "--duration", "0.02", "--repeats", "1", "-o", str(out_path),
+        ]
+    )
+    assert code == 0
+    document = json.loads(out_path.read_text())
+    assert document["backend"] in backend_names()
+    capsys.readouterr()
+    assert main(["perf", "fig1_nav_udp", "--backend", "turbo"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown simulation backend" in err

@@ -1,0 +1,182 @@
+"""Differential fuzzing: random scenarios must fingerprint identically.
+
+The golden traces pin four hand-picked operating points; this fuzzer walks
+the configuration space around them.  Each case derives a small random
+topology (pair count, positions, transport mix, greedy misbehavior, error
+model, RTS on/off, optional fault plan) deterministically from a case seed,
+runs it on the scalar and vectorized backends, and requires byte-identical
+traces, exact metrics and equal event counts via
+:func:`repro.perf.diff.diff_backend_runs`.
+
+Two tiers:
+
+* tier-1 (always on): a fixed 10-case subset plus a short hypothesis sweep
+  — fast enough for every ``pytest`` run.
+* ``-m slow``: a wide hypothesis sweep, every registered perf scenario at
+  golden length, and every registered experiment in quick mode through
+  :func:`repro.perf.diff.diff_experiment` — the full pre-release gate the
+  CI ``backend-diff-smoke`` job samples from.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import GreedyConfig
+from repro.mac.frames import FrameKind
+from repro.net.scenario import Scenario
+from repro.perf.diff import BackendRun, diff_backend_runs, diff_scenario
+from repro.perf.scenarios import scenario_names
+from repro.phy.error import set_ber_all_pairs
+from repro.sim.backend import numpy_available, use_backend
+from repro.stats.trace import FrameTracer
+
+pytestmark = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+US_PER_S = 1_000_000.0
+CASE_DURATION_S = 0.05
+
+#: The always-on subset: first ten case seeds of the fuzz space.
+QUICK_CASES = list(range(10))
+
+
+def _build_case(case_seed: int) -> Scenario:
+    """Derive one random-but-deterministic scenario from a case seed.
+
+    All randomness comes from ``random.Random(case_seed)`` at *build* time —
+    the simulation itself then runs from ``Scenario(seed=...)``'s own
+    streams, so the same case seed always produces the same workload on
+    every backend.
+    """
+    pick = random.Random(case_seed)
+    n_pairs = pick.randint(1, 3)
+    rts = pick.random() < 0.7
+    ranged = pick.random() < 0.3
+    s = Scenario(
+        seed=1000 + case_seed,
+        rts_enabled=rts,
+        ranges=(55.0, 99.0) if ranged else None,
+    )
+    greedy_kind = pick.choice(["none", "nav", "spoof", "fake"])
+    positions = {}
+    for i in range(n_pairs):
+        positions[f"S{i}"] = (pick.uniform(0.0, 30.0), pick.uniform(0.0, 30.0))
+        positions[f"R{i}"] = (pick.uniform(0.0, 30.0), pick.uniform(0.0, 30.0))
+    for i in range(n_pairs):
+        s.add_wireless_node(f"S{i}", position=positions[f"S{i}"])
+    for i in range(n_pairs):
+        greedy = None
+        if i == n_pairs - 1:
+            if greedy_kind == "nav":
+                frames = frozenset({FrameKind.CTS if rts else FrameKind.ACK})
+                greedy = GreedyConfig.nav_inflator(pick.uniform(300.0, 5000.0), frames)
+            elif greedy_kind == "spoof" and n_pairs > 1:
+                greedy = GreedyConfig.ack_spoofer(victims=frozenset({"R0"}))
+            elif greedy_kind == "fake":
+                greedy = GreedyConfig.ack_faker()
+        s.add_wireless_node(f"R{i}", position=positions[f"R{i}"], greedy=greedy)
+    error_kind = pick.choice(["clean", "ber", "data_fer"])
+    if error_kind == "ber":
+        set_ber_all_pairs(
+            s.error_model, list(s.nodes), pick.choice([1e-5, 1e-4, 2e-4])
+        )
+    elif error_kind == "data_fer":
+        # Includes the explicit-0.0 edge: still consumes one uniform per
+        # data frame, which is exactly what desynchronizes a sloppy backend.
+        s.error_model.set_data_fer("S0", "R0", pick.choice([0.0, 0.2, 0.5]))
+    for i in range(n_pairs):
+        if pick.random() < 0.5:
+            src, _sink = s.udp_flow(f"S{i}", f"R{i}")
+        else:
+            src, _sink = s.tcp_flow(f"S{i}", f"R{i}")
+        src.start()
+    if pick.random() < 0.3:
+        from repro.faults import FaultPlan, GilbertElliottConfig, JammerConfig
+
+        if pick.random() < 0.5:
+            s.install_faults(FaultPlan(channel=GilbertElliottConfig()))
+        else:
+            s.install_faults(FaultPlan(jammer=JammerConfig(period_us=10_000.0)))
+    return s
+
+
+def _run_case(case_seed: int, backend: str) -> BackendRun:
+    with use_backend(backend):
+        scenario = _build_case(case_seed)
+        tracer = FrameTracer(scenario.medium)
+        scenario.run(CASE_DURATION_S)
+    lines = tuple(
+        json.dumps(record.to_dict(), sort_keys=True) for record in tracer.records
+    )
+    totals = tracer.airtime_by_sender()
+    metrics = {f"airtime_{name}": value for name, value in sorted(totals.items())}
+    return BackendRun(
+        backend=backend,
+        trace_lines=lines,
+        metrics=metrics,
+        events=scenario.sim.events_processed,
+    )
+
+
+def _assert_case_identical(case_seed: int) -> None:
+    scalar = _run_case(case_seed, "scalar")
+    vectorized = _run_case(case_seed, "vectorized")
+    assert scalar.trace_lines, f"case {case_seed} produced no traffic"
+    problems = diff_backend_runs(scalar, vectorized)
+    assert not problems, f"case {case_seed} diverged:\n" + "\n".join(problems)
+    assert scalar.fingerprint == vectorized.fingerprint
+
+
+# ------------------------------------------------------------ tier-1 tier --
+
+
+@pytest.mark.parametrize("case_seed", QUICK_CASES)
+def test_quick_fuzz_case_is_backend_identical(case_seed):
+    _assert_case_identical(case_seed)
+
+
+@given(case_seed=st.integers(min_value=10, max_value=5_000))
+@settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_hypothesis_fuzz_short_sweep(case_seed):
+    _assert_case_identical(case_seed)
+
+
+# -------------------------------------------------------------- slow tier --
+
+
+@pytest.mark.slow
+@given(case_seed=st.integers(min_value=0, max_value=1_000_000))
+@settings(
+    max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_hypothesis_fuzz_full_sweep(case_seed):
+    _assert_case_identical(case_seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_perf_scenario_diffs_clean_at_golden_length(name):
+    report = diff_scenario(name)
+    assert report.ok, "\n".join(report.problems)
+
+
+@pytest.mark.slow
+def test_every_registered_experiment_diffs_clean_in_quick_mode():
+    from repro.experiments import entries
+    from repro.perf.diff import diff_experiment
+
+    failures = []
+    for entry in entries():
+        report = diff_experiment(entry.id, quick=True)
+        if not report.ok:
+            failures.append(f"{entry.id}:\n  " + "\n  ".join(report.problems))
+    assert not failures, "experiments diverged across backends:\n" + "\n".join(
+        failures
+    )

@@ -93,6 +93,68 @@ def test_attach_speedup_and_check_regression():
     assert check_regression(bench, {"scenarios": {}}) == []
 
 
+def test_check_regression_failure_names_scenario_and_magnitude():
+    """A regression message must say *which* scenario and *by how much*.
+
+    A bare "regression detected" forces whoever is on CI duty to re-run the
+    whole harness locally; the message is the diagnosis.
+    """
+    bench = {
+        "scenarios": {
+            "fig1_nav_udp": {"wall_s": 1.0, "events_per_s": 50_000.0},
+            "spoof_tcp": {"wall_s": 0.1, "events_per_s": 90_000.0},
+        }
+    }
+    baseline = {
+        "scenarios": {
+            "fig1_nav_udp": {"wall_s": 0.25, "events_per_s": 200_000.0},
+            "spoof_tcp": {"wall_s": 0.09, "events_per_s": 95_000.0},
+        }
+    }
+    problems = check_regression(bench, baseline)
+    assert len(problems) == 1, "only the regressed scenario may be reported"
+    message = problems[0]
+    assert message.startswith("fig1_nav_udp: regressed 4.00x")
+    assert "wall 1.000s vs baseline 0.250s" in message
+    assert "limit 0.500s at factor 2" in message
+    assert "50,000 events/s vs baseline 200,000" in message
+
+
+def test_check_regression_failure_without_baseline_event_rate():
+    """Old baseline files without events/s still produce a full message."""
+    bench = {"scenarios": {"spoof_tcp": {"wall_s": 3.0}}}
+    baseline = {"scenarios": {"spoof_tcp": {"wall_s": 1.0}}}
+    (message,) = check_regression(bench, baseline)
+    assert message.startswith("spoof_tcp: regressed 3.00x")
+    assert "wall 3.000s vs baseline 1.000s" in message
+    assert "events/s" not in message
+
+
+def test_cli_perf_regression_failure_is_diagnosable_from_stderr(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "schema": SCHEMA,
+                "scenarios": {"fig1_nav_udp": {"wall_s": 1e-9}},
+            }
+        )
+    )
+    rc = main(
+        [
+            "perf", "fig1_nav_udp", "--repeats", "1",
+            "--duration", str(SMOKE_S),
+            "-o", str(out),
+            "--check-regression", str(baseline_path),
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION fig1_nav_udp: regressed" in err
+    assert "vs baseline 0.000s" in err
+
+
 def test_cli_perf_writes_bench_core(tmp_path, capsys):
     out = tmp_path / "BENCH_core.json"
     rc = main(

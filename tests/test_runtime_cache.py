@@ -206,12 +206,13 @@ def test_code_version_salt_is_folded_into_the_token():
     from repro.runtime import cache as cache_mod
 
     baseline = cache_mod.code_version_token()
-    cache_mod.code_version_token.cache_clear()
+    # The memoized part is the source digest; the backend key is live.
+    cache_mod._source_token.cache_clear()
     try:
         with mock.patch.object(cache_mod, "CODE_VERSION_SALT", "different-epoch"):
             bumped = cache_mod.code_version_token()
     finally:
-        cache_mod.code_version_token.cache_clear()
+        cache_mod._source_token.cache_clear()
     assert bumped != baseline
     assert cache_mod.code_version_token() == baseline  # restored
 
