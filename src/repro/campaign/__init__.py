@@ -26,6 +26,7 @@ from repro.campaign.runner import (
     default_out_dir,
     load_point_results,
     manifest_path,
+    metrics_fingerprint,
     point_path,
     run_campaign,
     write_reports,
@@ -38,6 +39,7 @@ from repro.campaign.spec import (
     point_id,
     spec_from_dict,
     spec_hash,
+    spec_to_dict,
 )
 
 __all__ = [
@@ -61,11 +63,13 @@ __all__ = [
     "load_point_results",
     "load_spec",
     "manifest_path",
+    "metrics_fingerprint",
     "point_id",
     "point_path",
     "register",
     "run_campaign",
     "spec_from_dict",
     "spec_hash",
+    "spec_to_dict",
     "write_reports",
 ]

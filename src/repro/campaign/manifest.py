@@ -96,6 +96,40 @@ class Manifest:
         """True when every point completed successfully."""
         return self.count(DONE) == self.total
 
+    def status_document(self) -> dict[str, Any]:
+        """Machine-readable status summary (``repro campaign status --json``).
+
+        One stable JSON-friendly shape consumed by both humans piping to
+        ``jq`` and by the fleet orchestrator polling shard progress; keep it
+        backward compatible (add keys, never repurpose them).
+        """
+        return {
+            "name": self.name,
+            "builder": self.builder,
+            "spec_hash": self.spec_hash,
+            "code_version": self.code_version,
+            "seeds": list(self.seeds),
+            "duration_s": self.duration_s,
+            "total": self.total,
+            "done": self.count(DONE),
+            "failed": self.count(FAILED),
+            "pending": self.count(PENDING),
+            "complete": self.complete,
+            "retries": sum(point.retries for point in self.points),
+            "faults": dict(self.faults),
+            "points": [
+                {
+                    "index": point.index,
+                    "id": point.id,
+                    "status": point.status,
+                    "seeds_done": len(point.seeds_done),
+                    "retries": point.retries,
+                    "last_failure": point.last_failure or point.error,
+                }
+                for point in self.points
+            ],
+        }
+
     # -------------------------------------------------------------- (de)io --
 
     def to_dict(self) -> dict[str, Any]:

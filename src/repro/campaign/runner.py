@@ -85,7 +85,11 @@ def manifest_path(out_dir: Path) -> Path:
     return Path(out_dir) / "manifest.json"
 
 
-def _fresh_manifest(spec: CampaignSpec, telemetry: bool = False) -> Manifest:
+def _fresh_manifest(
+    spec: CampaignSpec,
+    telemetry: bool = False,
+    point_ids: frozenset[str] | None = None,
+) -> Manifest:
     points = [
         PointState(id=point_id(params), index=index, params=dict(params))
         for index, params in enumerate(expand_grid(spec))
@@ -96,6 +100,16 @@ def _fresh_manifest(spec: CampaignSpec, telemetry: bool = False) -> Manifest:
             f"campaign {spec.name!r} expands to duplicate points; "
             "check the sweep/zip axes for repeated values"
         )
+    if point_ids is not None:
+        unknown = sorted(set(point_ids) - set(ids))
+        if unknown:
+            raise CampaignError(
+                f"campaign {spec.name!r}: selected point id(s) {unknown} are "
+                "not in the expanded grid (spec and shard plan out of sync?)"
+            )
+        # Keep the *global* grid index: a shard manifest's points slot
+        # straight back into the canonical merged manifest.
+        points = [point for point in points if point.id in point_ids]
     return Manifest(
         name=spec.name,
         builder=spec.builder,
@@ -108,7 +122,11 @@ def _fresh_manifest(spec: CampaignSpec, telemetry: bool = False) -> Manifest:
     )
 
 
-def _resumable_manifest(spec: CampaignSpec, out_dir: Path) -> Manifest:
+def _resumable_manifest(
+    spec: CampaignSpec,
+    out_dir: Path,
+    point_ids: frozenset[str] | None = None,
+) -> Manifest:
     """Load an existing manifest and verify it matches this spec + code.
 
     Uses :meth:`Manifest.load_or_recover`: a manifest torn by a SIGKILL
@@ -128,6 +146,12 @@ def _resumable_manifest(spec: CampaignSpec, out_dir: Path) -> Manifest:
             f"cannot resume in {out_dir}: simulator code changed since the "
             "manifest was written (completed points would not be comparable "
             "with new ones); rerun without --resume"
+        )
+    if point_ids is not None and {p.id for p in manifest.points} != set(point_ids):
+        raise CampaignError(
+            f"cannot resume in {out_dir}: the manifest covers a different "
+            "point selection than this run requests (shard plan changed, "
+            "e.g. a different shard count); use a fresh output directory"
         )
     return manifest
 
@@ -152,8 +176,15 @@ def run_campaign(
     telemetry: bool = False,
     retry: RetryPolicy | None = None,
     pool: WorkerPool | None = None,
+    point_ids: frozenset[str] | None = None,
 ) -> CampaignRun:
     """Run (or resume) a campaign; returns the invocation summary.
+
+    ``point_ids`` restricts the run to a subset of the expanded grid (the
+    fleet tier's shard workers use this).  Subset manifests keep each
+    point's *global* grid index, so merging shard manifests reconstructs the
+    canonical single-host manifest; resuming with a different selection than
+    the on-disk manifest is refused (the shard plan changed under the run).
 
     Points execute sequentially in grid order; within a point, seeds fan out
     over ``jobs`` worker processes and the shared result cache (under
@@ -187,13 +218,15 @@ def run_campaign(
     clean_stale_tmp(out)
     clean_stale_tmp(points_dir(out))
 
+    if point_ids is not None:
+        point_ids = frozenset(point_ids)
     if resume and (
         manifest_path(out).exists()
         or Path(str(manifest_path(out)) + ".bak").exists()
     ):
-        manifest = _resumable_manifest(spec, out)
+        manifest = _resumable_manifest(spec, out, point_ids=point_ids)
     else:
-        manifest = _fresh_manifest(spec, telemetry=telemetry)
+        manifest = _fresh_manifest(spec, telemetry=telemetry, point_ids=point_ids)
     manifest.save(manifest_path(out))
 
     cache = None
@@ -300,6 +333,31 @@ def _point_telemetry(
 
 
 # ------------------------------------------------------------- reporting ----
+
+
+def metrics_fingerprint(out_dir: str | Path) -> dict[str, str]:
+    """Per-point canonical JSON of everything scientific in a campaign output.
+
+    Maps point id to a ``sort_keys`` JSON blob of (params, per_seed, median)
+    — exactly the content that must be bit-identical between a single-host
+    run, a healed chaos run and a merged fleet run.  Telemetry and fault
+    accounting are deliberately excluded: they describe *how* the run went,
+    not what it measured.
+    """
+    out = Path(out_dir)
+    manifest = Manifest.load(manifest_path(out))
+    prints: dict[str, str] = {}
+    for point in manifest.points:
+        payload = json.loads(point_path(out, point).read_text())
+        prints[point.id] = json.dumps(
+            {
+                "params": payload["params"],
+                "per_seed": payload["per_seed"],
+                "median": payload["median"],
+            },
+            sort_keys=True,
+        )
+    return prints
 
 
 def load_point_results(

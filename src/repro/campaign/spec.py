@@ -374,6 +374,34 @@ def expand_grid(spec: CampaignSpec) -> list[dict[str, Any]]:
     return points
 
 
+def spec_to_dict(spec: CampaignSpec) -> dict[str, Any]:
+    """Document-shape dict (the TOML table layout) that round-trips a spec.
+
+    The output is the *resolved* spec — ``[quick]`` overrides already applied
+    and dropped — so ``spec_from_dict(spec_to_dict(s))`` validates to a spec
+    with an identical :func:`spec_hash`.  The fleet tier uses this to ship a
+    resolved spec to shard worker processes as plain JSON: workers re-derive
+    the same grid, point ids and shard assignment without ever seeing the
+    original TOML file.
+    """
+    campaign: dict[str, Any] = {
+        "name": spec.name,
+        "builder": spec.builder,
+        "seeds": list(spec.seeds),
+        "duration_s": spec.duration_s,
+    }
+    if spec.description:
+        campaign["description"] = spec.description
+    doc: dict[str, Any] = {"campaign": campaign}
+    if spec.params:
+        doc["params"] = dict(spec.params)
+    if spec.sweep:
+        doc["sweep"] = {key: list(values) for key, values in spec.sweep.items()}
+    if spec.zip_axes:
+        doc["zip"] = {key: list(values) for key, values in spec.zip_axes.items()}
+    return doc
+
+
 def point_id(params: Mapping[str, Any]) -> str:
     """Stable short id of one grid point (digest of canonical parameters)."""
     payload = json.dumps(canonical(dict(params)), sort_keys=True)

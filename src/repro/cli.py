@@ -9,6 +9,8 @@
     python -m repro campaign run examples/campaigns/fig1_nav_udp.toml --jobs 4
     python -m repro campaign status results/campaigns/fig1_nav_udp
     python -m repro campaign report results/campaigns/fig1_nav_udp
+    python -m repro fleet run examples/campaigns/fig1_nav_udp.toml --shards 4
+    python -m repro fleet serve --root results/fleet
     python -m repro chaos --profile quick     # fault-injection self-test
 
 The demos build a small hotspot, run the chosen misbehavior, and print
@@ -450,6 +452,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.campaign import DONE, Manifest, ManifestError, SpecError, manifest_path
     from repro.stats.summary import format_table
 
@@ -459,6 +463,12 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     except (SpecError, ManifestError) as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.json:
+        print(_json.dumps(manifest.status_document(), indent=2, sort_keys=True))
+        if args.expect_complete and not manifest.complete:
+            print("campaign is not complete", file=sys.stderr)
+            return 1
+        return 0
     print(
         f"campaign {manifest.name}: {manifest.count(DONE)}/{manifest.total} points "
         f"done, {manifest.count('failed')} failed, "
@@ -547,6 +557,168 @@ def _fmt_cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+# -------------------------------------------------------------------- fleet --
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.campaign import SpecError, default_out_dir, load_spec
+    from repro.fleet import FleetError, run_fleet
+
+    try:
+        spec = load_spec(args.spec, quick=args.quick)
+        out = args.out if args.out else default_out_dir(spec)
+        run = run_fleet(
+            spec,
+            out,
+            n_shards=args.shards,
+            executor=args.executor,
+            jobs=args.jobs,
+            max_shard_attempts=args.max_shard_attempts,
+            max_parallel=args.max_parallel_shards,
+            progress=print if args.verbose else None,
+        )
+    except (SpecError, FleetError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    mode = " (quick)" if args.quick else ""
+    state = run.state
+    healed = sum(max(0, entry.attempts - 1) for entry in state.shards)
+    print(
+        f"fleet {spec.name}{mode}: {args.shards} shards via {state.executor}, "
+        f"{sum(len(entry.point_ids) for entry in state.shards)} points"
+    )
+    if healed:
+        print(f"  healing: {healed} shard re-dispatch(es)")
+    if not run.ok:
+        print(f"  FAILED: {run.error}", file=sys.stderr)
+        return 1
+    manifest = run.manifest
+    print(
+        f"  merged: {manifest.count('done')}/{manifest.total} points done"
+        + ("" if manifest.complete else " (INCOMPLETE)")
+    )
+    print(f"  out: {run.out_dir} (manifest.json, results.csv, results.json)")
+    return 0 if manifest.complete else 1
+
+
+def _cmd_fleet_worker(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import CampaignError, SpecError
+    from repro.fleet import FleetError, ShardTask, run_shard_inprocess
+
+    task = ShardTask(
+        spec_path=Path(args.spec),
+        out_dir=Path(args.out),
+        shard=args.shard,
+        n_shards=args.n_shards,
+        jobs=args.jobs,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
+    try:
+        return run_shard_inprocess(task)
+    except (SpecError, CampaignError, FleetError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.fleet import FleetError, fleet_status_document
+
+    try:
+        doc = fleet_status_document(args.target)
+    except FleetError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"fleet {doc['name']}: {doc['done']}/{doc['total']} points done over "
+            f"{doc['n_shards']} shards via {doc['executor']}"
+            f" (spec {doc['spec_hash']})"
+        )
+        for shard in doc["shards"]:
+            error = f"  [{shard['error']}]" if shard["error"] else ""
+            print(
+                f"  shard {shard['shard']:2d}: {shard['status']:8s} "
+                f"{shard['done']}/{shard['points']} points, "
+                f"attempts {shard['attempts']}, retries {shard['retries']}{error}"
+            )
+        print(f"  merged: {doc['merged']}, complete: {doc['complete']}")
+    if args.expect_complete and not doc["complete"]:
+        print("fleet run is not complete", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fleet import FleetService
+
+    service = FleetService(
+        args.root,
+        executor=args.executor,
+        jobs=args.jobs,
+        max_parallel_shards=args.max_parallel_shards,
+    )
+
+    async def _serve() -> None:
+        await service.start(host=args.host, port=args.port)
+        print(f"fleet service listening on http://{args.host}:{service.port}")
+        print(f"  jobs root: {service.root}  executor: {args.executor}")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_fleet_submit(args: argparse.Namespace) -> int:
+    from repro.campaign import SpecError
+    from repro.campaign.spec import load_spec, spec_to_dict
+    from repro.fleet import FleetClientError, fetch_results, poll_job, submit_job
+
+    try:
+        spec = load_spec(args.spec, quick=args.quick)
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    document = {
+        "spec": spec_to_dict(spec),
+        "n_shards": args.shards,
+        "jobs": args.jobs,
+        # The spec is already resolved locally, so quick is not re-applied
+        # server-side; the document carries the quick-resolved grid itself.
+    }
+    try:
+        job_id = submit_job(args.url, document)
+        print(f"submitted job {job_id} to {args.url}")
+        if not args.wait:
+            return 0
+        status = poll_job(args.url, job_id, timeout_s=args.timeout)
+        print(f"job {job_id}: {status['status']}")
+        if status["status"] != "done":
+            print(f"  error: {status.get('error')}", file=sys.stderr)
+            return 1
+        csv_text = fetch_results(args.url, job_id)
+    except FleetClientError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(csv_text)
+        print(f"wrote {args.output}")
+    else:
+        print(csv_text, end="")
+    return 0
 
 
 # -------------------------------------------------------------------- chaos --
@@ -700,6 +872,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless every point is done (CI gate)",
     )
+    p_cstatus.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable status document instead of a table",
+    )
     p_cstatus.set_defaults(func=_cmd_campaign_status)
 
     p_creport = csub.add_parser("report", help="print the aggregated results table")
@@ -714,6 +891,140 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_creport.add_argument("-o", "--output", help="write the report to a file")
     p_creport.set_defaults(func=_cmd_campaign_report)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="sharded campaign execution: split a spec over N worker "
+        "processes, heal dead shards, merge byte-identical results",
+    )
+    fsub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_frun = fsub.add_parser("run", help="run a campaign spec as N shards")
+    p_frun.add_argument("spec", help="path to a campaign .toml spec")
+    p_frun.add_argument(
+        "--shards", type=int, default=2, help="number of shards (default 2)"
+    )
+    p_frun.add_argument(
+        "--executor",
+        default="subprocess",
+        help="how shards run: subprocess (one OS process per shard, default) "
+        "or local (in-process)",
+    )
+    p_frun.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per shard (passed through to the campaign)",
+    )
+    p_frun.add_argument(
+        "--quick", action="store_true", help="apply the spec's [quick] overrides"
+    )
+    p_frun.add_argument(
+        "--out", help="fleet output directory (default results/campaigns/<name>)"
+    )
+    p_frun.add_argument(
+        "--max-shard-attempts",
+        type=int,
+        default=3,
+        help="dispatch attempts per shard before the fleet run fails (default 3)",
+    )
+    p_frun.add_argument(
+        "--max-parallel-shards",
+        type=int,
+        default=None,
+        help="cap concurrently running shards (default: all at once)",
+    )
+    p_frun.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-shard progress"
+    )
+    p_frun.set_defaults(func=_cmd_fleet_run)
+
+    p_fworker = fsub.add_parser(
+        "worker",
+        help="run one shard of a fleet (internal; launched by the "
+        "subprocess executor)",
+    )
+    p_fworker.add_argument("--spec", required=True, help="path to the fleet spec.json")
+    p_fworker.add_argument("--out", required=True, help="this shard's output directory")
+    p_fworker.add_argument("--shard", type=int, required=True)
+    p_fworker.add_argument("--n-shards", type=int, required=True)
+    p_fworker.add_argument("--jobs", type=int, default=1)
+    p_fworker.add_argument(
+        "--cache-dir", default=None, help="shared per-seed result cache directory"
+    )
+    p_fworker.set_defaults(func=_cmd_fleet_worker)
+
+    p_fstatus = fsub.add_parser("status", help="show a fleet run's shard status")
+    p_fstatus.add_argument("target", help="fleet output directory")
+    p_fstatus.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable status document instead of a table",
+    )
+    p_fstatus.add_argument(
+        "--expect-complete",
+        action="store_true",
+        help="exit 1 unless the merged run covers every point (CI gate)",
+    )
+    p_fstatus.set_defaults(func=_cmd_fleet_status)
+
+    p_fserve = fsub.add_parser(
+        "serve", help="HTTP service: POST specs, poll shard status, fetch results"
+    )
+    p_fserve.add_argument(
+        "--root",
+        default="results/fleet",
+        help="directory for job artifacts (default results/fleet)",
+    )
+    p_fserve.add_argument("--host", default="127.0.0.1")
+    p_fserve.add_argument(
+        "--port", type=int, default=8642, help="0 picks a free port (default 8642)"
+    )
+    p_fserve.add_argument(
+        "--executor", default="subprocess", help="executor for submitted jobs"
+    )
+    p_fserve.add_argument(
+        "--jobs", type=int, default=1, help="default worker processes per shard"
+    )
+    p_fserve.add_argument(
+        "--max-parallel-shards",
+        type=int,
+        default=None,
+        help="cap concurrently running shards across each job",
+    )
+    p_fserve.set_defaults(func=_cmd_fleet_serve)
+
+    p_fsubmit = fsub.add_parser(
+        "submit", help="submit a spec to a running fleet service"
+    )
+    p_fsubmit.add_argument("spec", help="path to a campaign .toml spec")
+    p_fsubmit.add_argument(
+        "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8642"
+    )
+    p_fsubmit.add_argument("--shards", type=int, default=2)
+    p_fsubmit.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per shard"
+    )
+    p_fsubmit.add_argument(
+        "--quick",
+        action="store_true",
+        help="resolve the spec's [quick] overrides before submitting",
+    )
+    p_fsubmit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print/fetch results.csv",
+    )
+    p_fsubmit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling budget in seconds (default 600)",
+    )
+    p_fsubmit.add_argument(
+        "-o", "--output", help="with --wait: write results.csv here"
+    )
+    p_fsubmit.set_defaults(func=_cmd_fleet_submit)
 
     p_chaos = sub.add_parser(
         "chaos",

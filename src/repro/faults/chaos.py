@@ -38,7 +38,12 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro.campaign.manifest import Manifest
-from repro.campaign.runner import manifest_path, point_path, run_campaign
+from repro.campaign.runner import (
+    manifest_path,
+    metrics_fingerprint,
+    point_path,
+    run_campaign,
+)
 from repro.campaign.spec import spec_from_dict
 from repro.runtime import RetryPolicy, WorkerPool
 
@@ -230,23 +235,6 @@ def _truncate_some(cache_dir: Path, count: int, tally: dict[str, Any]) -> int:
 # ------------------------------------------------------------- comparison ----
 
 
-def _metrics_fingerprint(out_dir: Path) -> dict[str, str]:
-    """Per-point canonical JSON of everything scientific in a campaign output."""
-    manifest = Manifest.load(manifest_path(out_dir))
-    prints: dict[str, str] = {}
-    for point in manifest.points:
-        payload = json.loads(point_path(out_dir, point).read_text())
-        prints[point.id] = json.dumps(
-            {
-                "params": payload["params"],
-                "per_seed": payload["per_seed"],
-                "median": payload["median"],
-            },
-            sort_keys=True,
-        )
-    return prints
-
-
 def _compare(
     reference: dict[str, str], other: dict[str, str], label: str
 ) -> list[str]:
@@ -416,9 +404,9 @@ def run_chaos(
 
     identical = True
     if not problems or all("run has" not in p for p in problems):
-        prints = _metrics_fingerprint(root / "reference")
-        mismatches = _compare(prints, _metrics_fingerprint(chaos_out), "chaos")
-        mismatches += _compare(prints, _metrics_fingerprint(root / "healed"), "heal")
+        prints = metrics_fingerprint(root / "reference")
+        mismatches = _compare(prints, metrics_fingerprint(chaos_out), "chaos")
+        mismatches += _compare(prints, metrics_fingerprint(root / "healed"), "heal")
         identical = not mismatches
         problems += mismatches
     else:  # a run failed outright; point payloads may be missing

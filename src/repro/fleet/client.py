@@ -1,0 +1,79 @@
+"""Tiny urllib client for the fleet HTTP API (submit / poll / fetch).
+
+Used by ``repro fleet submit`` and the service tests; deliberately dumb —
+one function per API verb, JSON in, JSON (or CSV text) out, errors surfaced
+as :class:`FleetClientError` with the server's message attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+
+class FleetClientError(RuntimeError):
+    """An HTTP call to the fleet service failed; the message says why."""
+
+
+def _request(url: str, data: bytes | None = None, timeout_s: float = 30.0) -> str:
+    try:
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data is not None else {},
+            method="POST" if data is not None else "GET",
+        )
+    except ValueError as exc:  # e.g. a --url missing the http:// scheme
+        raise FleetClientError(f"bad service URL {url!r}: {exc}") from None
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.read().decode()
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace").strip()
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        raise FleetClientError(f"{url}: HTTP {exc.code}: {detail}") from None
+    except urllib.error.URLError as exc:
+        raise FleetClientError(f"{url}: {exc.reason}") from None
+
+
+def get_json(base_url: str, path: str, timeout_s: float = 30.0) -> Any:
+    return json.loads(_request(base_url.rstrip("/") + path, timeout_s=timeout_s))
+
+
+def submit_job(base_url: str, document: dict[str, Any], timeout_s: float = 30.0) -> str:
+    """POST a submit body; returns the new job id."""
+    body = json.dumps(document).encode()
+    reply = json.loads(_request(base_url.rstrip("/") + "/jobs", data=body, timeout_s=timeout_s))
+    return reply["job"]
+
+
+def poll_job(
+    base_url: str,
+    job_id: str,
+    timeout_s: float = 300.0,
+    poll_s: float = 0.2,
+) -> dict[str, Any]:
+    """Poll ``GET /jobs/<id>`` until the job leaves ``running``."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status = get_json(base_url, f"/jobs/{job_id}")
+        if status["status"] != "running":
+            return status
+        if time.monotonic() >= deadline:
+            raise FleetClientError(
+                f"job {job_id} still running after {timeout_s:.0f}s"
+            )
+        time.sleep(poll_s)
+
+
+def fetch_results(base_url: str, job_id: str, timeout_s: float = 30.0) -> str:
+    """The merged results.csv text of a finished job."""
+    return _request(
+        base_url.rstrip("/") + f"/jobs/{job_id}/results.csv", timeout_s=timeout_s
+    )

@@ -1,0 +1,355 @@
+"""Stdlib-only HTTP service wrapping the fleet orchestrator.
+
+``repro fleet serve`` exposes submit / status / results over plain HTTP so a
+campaign can be driven from anywhere that can POST JSON — no framework, no
+new dependency: the server is a minimal HTTP/1.1 parser on top of
+``asyncio.start_server``, sharing one event loop with every running fleet
+orchestration (shard executors block worker threads, never the loop).
+
+API (all JSON unless noted):
+
+- ``GET  /healthz``                 -> ``{"ok": true}``
+- ``GET  /jobs``                    -> summary list of submitted jobs
+- ``POST /jobs``                    -> 202 ``{"job": "<id>"}``; body is
+  ``{"spec": {<TOML document shape>}, "n_shards": 2, "quick": false,
+  "jobs": 1}``
+- ``GET  /jobs/<id>``               -> job + per-shard fleet status
+- ``GET  /jobs/<id>/results.csv``   -> merged results (text/csv); 409 until
+  the merge has happened
+- ``GET  /jobs/<id>/telemetry``     -> merged telemetry snapshot; 404 if
+  the run captured none
+
+Job state never outlives the process (the artifacts on disk under
+``<root>/jobs/<id>/`` do); this is a hotspot-controller-sized service, not
+a database.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.spec import SpecError, spec_from_dict
+from repro.fleet.plan import FleetError
+from repro.fleet.run import fleet_status_document, run_fleet_async
+
+_MAX_BODY = 4 * 1024 * 1024  # a spec document is tiny; refuse anything huge
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _Job:
+    """One submitted fleet run and its background task."""
+
+    def __init__(self, job_id: str, spec_name: str, n_shards: int, out_dir: Path) -> None:
+        self.id = job_id
+        self.spec_name = spec_name
+        self.n_shards = n_shards
+        self.out_dir = out_dir
+        self.status = "running"
+        self.error: str | None = None
+        self.task: asyncio.Task | None = None
+
+
+class FleetService:
+    """Asyncio fleet service: submit specs, watch shards, fetch results."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        executor: str = "local",
+        jobs: int = 1,
+        max_parallel_shards: int | None = None,
+        max_shard_attempts: int = 3,
+    ) -> None:
+        self.root = Path(root)
+        self.executor = executor
+        self.jobs = jobs
+        self.max_parallel_shards = max_parallel_shards
+        self.max_shard_attempts = max_shard_attempts
+        self._jobs: dict[str, _Job] = {}
+        self._seq = 0
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------ job API ---
+
+    def submit(self, document: Any) -> str:
+        """Validate a submit body and start the fleet run; returns the job id."""
+        if not isinstance(document, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        spec_doc = document.get("spec")
+        if not isinstance(spec_doc, dict):
+            raise _HttpError(400, 'body must carry the spec document under "spec"')
+        n_shards = document.get("n_shards", 2)
+        if not isinstance(n_shards, int) or isinstance(n_shards, bool) or n_shards < 1:
+            raise _HttpError(400, f"n_shards must be a positive integer, got {n_shards!r}")
+        quick = document.get("quick", False)
+        if not isinstance(quick, bool):
+            raise _HttpError(400, f"quick must be a boolean, got {quick!r}")
+        shard_jobs = document.get("jobs", self.jobs)
+        if not isinstance(shard_jobs, int) or isinstance(shard_jobs, bool) or shard_jobs < 1:
+            raise _HttpError(400, f"jobs must be a positive integer, got {shard_jobs!r}")
+        try:
+            spec = spec_from_dict(spec_doc, source="<http>", quick=quick)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+
+        self._seq += 1
+        job_id = f"{self._seq:04d}-{spec.name}"
+        job = _Job(job_id, spec.name, n_shards, self.root / "jobs" / job_id)
+        self._jobs[job_id] = job
+
+        async def _run() -> None:
+            try:
+                run = await run_fleet_async(
+                    spec,
+                    job.out_dir,
+                    n_shards=n_shards,
+                    executor=self.executor,
+                    jobs=shard_jobs,
+                    max_shard_attempts=self.max_shard_attempts,
+                    max_parallel=self.max_parallel_shards,
+                )
+                job.status = "done" if run.ok else "failed"
+                job.error = run.error
+            except (FleetError, Exception) as exc:  # noqa: BLE001 - job boundary
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+
+        job.task = asyncio.get_running_loop().create_task(_run())
+        return job_id
+
+    def _job(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job {job_id!r}")
+        return job
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        job = self._job(job_id)
+        doc: dict[str, Any] = {
+            "job": job.id,
+            "spec": job.spec_name,
+            "n_shards": job.n_shards,
+            "status": job.status,
+            "error": job.error,
+        }
+        try:
+            doc["fleet"] = fleet_status_document(job.out_dir)
+        except FleetError:
+            doc["fleet"] = None  # state file not written yet
+        return doc
+
+    def jobs_index(self) -> list[dict[str, Any]]:
+        return [
+            {"job": job.id, "spec": job.spec_name, "status": job.status}
+            for job in self._jobs.values()
+        ]
+
+    # --------------------------------------------------------------- HTTP ---
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                status, content_type, payload = self._route(method, target, body)
+            except _HttpError as exc:
+                status = exc.status
+                content_type = "application/json"
+                payload = json.dumps({"error": exc.message}) + "\n"
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                status = 500
+                content_type = "application/json"
+                payload = json.dumps({"error": f"{type(exc).__name__}: {exc}"}) + "\n"
+            data = payload.encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode() + data)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            # close() without wait_closed(): the response is already drained,
+            # and not parking here keeps handlers from lingering (and being
+            # noisily cancelled) when the service shuts down mid-keepalive.
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if content_length > _MAX_BODY:
+            raise _HttpError(413, f"body larger than {_MAX_BODY} bytes")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, target, body
+
+    def _route(self, method: str, target: str, body: bytes) -> tuple[int, str, str]:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, "application/json", json.dumps({"ok": True}) + "\n"
+        if path == "/jobs":
+            if method == "POST":
+                try:
+                    document = json.loads(body.decode() or "null")
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise _HttpError(400, f"request body is not valid JSON: {exc}") from None
+                job_id = self.submit(document)
+                return 202, "application/json", json.dumps({"job": job_id}) + "\n"
+            if method == "GET":
+                return 200, "application/json", json.dumps(self.jobs_index()) + "\n"
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            rest = path[len("/jobs/") :]
+            if rest.endswith("/results.csv"):
+                return self._results(rest[: -len("/results.csv")])
+            if rest.endswith("/telemetry"):
+                return self._telemetry(rest[: -len("/telemetry")])
+            return (
+                200,
+                "application/json",
+                json.dumps(self.job_status(rest), indent=2, sort_keys=True) + "\n",
+            )
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _results(self, job_id: str) -> tuple[int, str, str]:
+        job = self._job(job_id)
+        csv_path = job.out_dir / "results.csv"
+        if not csv_path.exists():
+            if job.status == "failed":
+                raise _HttpError(409, f"job {job_id} failed: {job.error}")
+            raise _HttpError(409, f"job {job_id} has not merged yet (status {job.status})")
+        return 200, "text/csv", csv_path.read_text()
+
+    def _telemetry(self, job_id: str) -> tuple[int, str, str]:
+        from repro.fleet.merge import collect_fleet_telemetry
+
+        job = self._job(job_id)
+        if not (job.out_dir / "manifest.json").exists():
+            raise _HttpError(409, f"job {job_id} has not merged yet (status {job.status})")
+        snapshot = collect_fleet_telemetry(job.out_dir)
+        if snapshot is None:
+            raise _HttpError(404, f"job {job_id} captured no telemetry")
+        return 200, "application/json", snapshot.to_json(indent=2) + "\n"
+
+    # -------------------------------------------------------------- server --
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the listening socket; ``self.port`` is set once bound."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class ServiceThread:
+    """A FleetService on its own event loop in a daemon thread (tests, CI).
+
+    Usage::
+
+        with ServiceThread(root) as svc:
+            url = f"http://127.0.0.1:{svc.port}"
+    """
+
+    def __init__(self, root: str | Path, **options: Any) -> None:
+        self.service = FleetService(root, **options)
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None
+        return self.service.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.service.start()
+            self._ready.set()
+            try:
+                await self.service.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            await self.service.stop()
+
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("fleet service failed to start within 10s")
+        return self
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not self._thread.is_alive():
+            return
+
+        def _cancel_all() -> None:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(_cancel_all)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()

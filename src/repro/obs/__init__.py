@@ -19,6 +19,7 @@ byte-identical (tests/test_obs.py, tests/test_golden_traces.py) and the
 fast-path perf gate holds.
 """
 
+from repro.obs.fleet import merge_snapshots
 from repro.obs.registry import MetricsRegistry, capture, current_registry
 from repro.obs.snapshot import (
     SCHEMA_VERSION,
@@ -33,6 +34,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "capture",
     "current_registry",
+    "merge_snapshots",
     "sweep_scenario",
     "validate_snapshot",
 ]

@@ -9,7 +9,9 @@ parallel and serial execution are bit-identical.  The fault-tolerance layer
 
 from repro.runtime.cache import (
     DEFAULT_CACHE_DIRNAME,
+    LOCKS_DIRNAME,
     QUARANTINE_DIRNAME,
+    EntryClaim,
     ResultCache,
     code_version_token,
     result_checksum,
@@ -36,12 +38,14 @@ from repro.runtime.retry import (
 
 __all__ = [
     "DEFAULT_CACHE_DIRNAME",
+    "EntryClaim",
     "ExecutionContext",
     "ExecutionReport",
     "JobExecutionError",
     "JobReport",
     "JobSpec",
     "JobTimeoutError",
+    "LOCKS_DIRNAME",
     "NON_RETRYABLE",
     "PoolBrokenError",
     "QUARANTINE_DIRNAME",

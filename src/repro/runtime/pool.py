@@ -514,40 +514,70 @@ def map_over_seeds(
     results: dict[int, dict[str, float]] = {}
     if isinstance(run, JobSpec):
         specs = {seed: run.with_seed(seed) for seed in seed_list}
-        pending = []
+        pending: list[int] = []
+        waiting: list[int] = []  # another process claimed these entries
+        claims: dict[int, Any] = {}
         for seed in seed_list:
             hit = cache.get(specs[seed]) if cache is not None else None
             if hit is not None:
                 results[seed] = hit
-            else:
-                pending.append(seed)
-        if pending:
-            if executor is not None:
-                futures = {executor.submit(execute_job, specs[s]): s for s in pending}
-                _collect(futures, results)
-                if cache is not None:
-                    for seed in pending:
-                        cache.put(specs[seed], results[seed])
-            else:
-                if pool is None:
-                    owned = WorkerPool(jobs=min(jobs, len(pending)), retry=retry)
+                continue
+            if cache is not None:
+                claim = cache.try_claim(specs[seed])
+                if claim is None:
+                    waiting.append(seed)
+                    continue
+                claims[seed] = claim
+            pending.append(seed)
+        failures: dict[Any, str] = {}
+        try:
+            if pending:
+                if executor is not None:
+                    futures = {
+                        executor.submit(execute_job, specs[s]): s for s in pending
+                    }
+                    _collect(futures, results)
+                    if cache is not None:
+                        for seed in pending:
+                            cache.put(specs[seed], results[seed])
                 else:
-                    owned = None
-                active = pool if pool is not None else owned
+                    if pool is None:
+                        owned = WorkerPool(jobs=min(jobs, len(pending)), retry=retry)
+                    else:
+                        owned = None
+                    active = pool if pool is not None else owned
+                    try:
+                        ran, failures = active.run(
+                            {seed: specs[seed] for seed in pending}, report=report
+                        )
+                    finally:
+                        if owned is not None:
+                            owned.shutdown()
+                    results.update(ran)
+                    if cache is not None:
+                        for seed in pending:
+                            if seed in ran:
+                                cache.put(specs[seed], ran[seed])
+        finally:
+            for claim in claims.values():
+                claim.release()
+        # Entries a concurrent process claimed: wait for its store instead of
+        # recomputing.  If the holder crashed or never publishes, (re)claim
+        # and compute in-process — duplicated work at worst, never a wrong or
+        # torn result (stores are atomic and keyed identically).
+        for seed in waiting:
+            outcome = cache.wait_for(specs[seed])
+            if outcome is None:
+                claim = cache.try_claim(specs[seed])
                 try:
-                    ran, failures = active.run(
-                        {seed: specs[seed] for seed in pending}, report=report
-                    )
+                    outcome = dict(execute_job(specs[seed]))
+                    cache.put(specs[seed], outcome)
                 finally:
-                    if owned is not None:
-                        owned.shutdown()
-                results.update(ran)
-                if cache is not None:
-                    for seed in pending:
-                        if seed in ran:
-                            cache.put(specs[seed], ran[seed])
-                if failures:
-                    raise JobExecutionError(failures)
+                    if claim is not None:
+                        claim.release()
+            results[seed] = outcome
+        if failures:
+            raise JobExecutionError(failures)
     elif executor is not None:
         futures = {executor.submit(run, seed): seed for seed in seed_list}
         _collect(futures, results)

@@ -234,3 +234,38 @@ def test_run_accepts_retry_flags(spec_path, tmp_path, capsys):
     )
     assert code == 0
     assert "executed" in capsys.readouterr().out
+
+
+def test_status_json_emits_machine_readable_document(spec_path, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert run_cli("campaign", "run", spec_path, "--out", out) == 0
+    capsys.readouterr()
+
+    assert run_cli("campaign", "status", out, "--json") == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["name"] == "cli_small"
+    assert doc["complete"] is True
+    assert doc["total"] == doc["done"] == 2
+    assert doc["failed"] == doc["pending"] == 0
+    assert len(doc["points"]) == 2
+    for point in doc["points"]:
+        assert set(point) == {
+            "index", "id", "status", "seeds_done", "retries", "last_failure",
+        }
+        assert point["status"] == "done"
+        assert point["seeds_done"] == 2
+
+
+def test_status_json_respects_expect_complete(spec_path, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert run_cli("campaign", "run", spec_path, "--out", out) == 0
+    manifest = Manifest.load(manifest_path(out))
+    manifest.points[0].status = PENDING
+    manifest.save(manifest_path(out))
+    capsys.readouterr()
+
+    assert run_cli("campaign", "status", out, "--json", "--expect-complete") == 1
+    captured = capsys.readouterr()
+    doc = json.loads(captured.out)  # the document still comes out intact
+    assert doc["complete"] is False
+    assert "not complete" in captured.err

@@ -1,0 +1,149 @@
+"""HTTP round trip against a live fleet service: submit -> poll -> fetch.
+
+The service runs on its own event loop in a daemon thread
+(:class:`repro.fleet.ServiceThread`) and the tests talk to it over real
+sockets with the urllib client — the same path CI's fleet-smoke job and
+``repro fleet submit`` use.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+pytest.importorskip("tomllib", reason="TOML campaign specs need Python 3.11+")
+
+from repro.campaign import run_campaign
+from repro.campaign.spec import spec_from_dict
+from repro.cli import main
+from repro.fleet import (
+    FleetClientError,
+    ServiceThread,
+    fetch_results,
+    get_json,
+    poll_job,
+    submit_job,
+)
+
+SPEC_DOC = {
+    "campaign": {
+        "name": "svc_small",
+        "builder": "nav_pairs",
+        "seeds": [1, 2],
+        "duration_s": 0.15,
+    },
+    "params": {"transport": "udp"},
+    "sweep": {"n_greedy": [0, 1]},
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with ServiceThread(tmp_path / "fleet-root", executor="local") as thread:
+        yield f"http://127.0.0.1:{thread.port}"
+
+
+def test_submit_poll_fetch_round_trip(tmp_path, service):
+    single = tmp_path / "single"
+    run_campaign(spec_from_dict(SPEC_DOC), out_dir=single)
+
+    job = submit_job(service, {"spec": SPEC_DOC, "n_shards": 2})
+    assert job.endswith("-svc_small")
+    status = poll_job(service, job, timeout_s=120)
+    assert status["status"] == "done"
+    fleet = status["fleet"]
+    assert fleet["complete"] and fleet["merged"]
+    assert fleet["n_shards"] == 2
+    assert {shard["status"] for shard in fleet["shards"]} == {"done"}
+
+    csv_text = fetch_results(service, job)
+    assert csv_text.encode() == (single / "results.csv").read_bytes()
+
+    index = get_json(service, "/jobs")
+    assert [entry["job"] for entry in index] == [job]
+
+
+def test_status_includes_per_shard_progress_fields(service):
+    job = submit_job(service, {"spec": SPEC_DOC, "n_shards": 2})
+    status = poll_job(service, job, timeout_s=120)
+    for shard in status["fleet"]["shards"]:
+        assert set(shard) >= {"shard", "status", "attempts", "done", "retries"}
+
+
+def test_telemetry_endpoint_merges_point_snapshots(service):
+    doc = dict(SPEC_DOC)
+    job = submit_job(service, {"spec": doc, "n_shards": 2})
+    poll_job(service, job, timeout_s=120)
+    # This spec captured no telemetry -> 404 with a readable message.
+    with pytest.raises(FleetClientError, match="404"):
+        get_json(service, f"/jobs/{job}/telemetry")
+
+
+def test_results_before_merge_is_409(service):
+    job = submit_job(service, {"spec": SPEC_DOC, "n_shards": 2})
+    # Immediately after submit the merge cannot have happened yet (and if the
+    # race is ever lost, the fetch simply succeeds and the test still holds).
+    try:
+        fetch_results(service, job)
+    except FleetClientError as exc:
+        assert "409" in str(exc)
+    poll_job(service, job, timeout_s=120)
+
+
+def test_healthz_and_unknown_routes(service):
+    assert get_json(service, "/healthz") == {"ok": True}
+    with pytest.raises(FleetClientError, match="404"):
+        get_json(service, "/jobs/no-such-job")
+    with pytest.raises(FleetClientError, match="404"):
+        get_json(service, "/definitely-not-a-route")
+
+
+def test_bad_submissions_are_400(service):
+    with pytest.raises(FleetClientError, match="400"):
+        submit_job(service, {"n_shards": 2})  # no spec
+    with pytest.raises(FleetClientError, match="400"):
+        submit_job(service, {"spec": {"bogus": 1}})  # invalid spec document
+    with pytest.raises(FleetClientError, match="400"):
+        submit_job(service, {"spec": SPEC_DOC, "n_shards": 0})
+    # Raw invalid JSON body.
+    request = urllib.request.Request(
+        service + "/jobs", data=b"{not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+
+
+def test_cli_submit_wait_fetches_results(tmp_path, service, capsys):
+    spec_path = tmp_path / "svc_small.toml"
+    spec_path.write_text(
+        """\
+[campaign]
+name = "svc_small"
+builder = "nav_pairs"
+seeds = [1, 2]
+duration_s = 0.15
+
+[params]
+transport = "udp"
+
+[sweep]
+n_greedy = [0, 1]
+"""
+    )
+    out_csv = tmp_path / "fetched.csv"
+    code = main(
+        [
+            "fleet", "submit", str(spec_path),
+            "--url", service, "--shards", "2", "--wait", "-o", str(out_csv),
+        ]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "submitted job" in text
+
+    single = tmp_path / "single"
+    run_campaign(spec_from_dict(SPEC_DOC), out_dir=single)
+    assert out_csv.read_bytes() == (single / "results.csv").read_bytes()

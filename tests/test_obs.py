@@ -237,3 +237,64 @@ def test_cli_metrics_rejects_unknown_target(capsys):
 
     assert main(["metrics", "no_such_thing"]) == 2
     assert "perf scenario" in capsys.readouterr().err
+
+
+# ---------------------------------------------------- fleet aggregation -----
+
+
+def _snap(counters=None, gauges=None, histograms=None):
+    return TelemetrySnapshot(
+        counters=dict(counters or {}),
+        gauges=dict(gauges or {}),
+        histograms={k: dict(v) for k, v in (histograms or {}).items()},
+    )
+
+
+def test_merge_snapshots_sums_every_section():
+    from repro.obs import merge_snapshots
+
+    merged = merge_snapshots(
+        [
+            _snap(
+                counters={"mac.S0.tx_data": 3.0},
+                gauges={"sim.engine.events_processed": 10.0},
+                histograms={"transport.S0.rtt_us": {"1500.0": 2}},
+            ),
+            _snap(
+                counters={"mac.S0.tx_data": 2.0, "mac.S1.tx_data": 7.0},
+                gauges={"sim.engine.events_processed": 5.0},
+                histograms={"transport.S0.rtt_us": {"1500.0": 1, "2000.0": 4}},
+            ),
+        ]
+    )
+    assert merged.counters == {"mac.S0.tx_data": 5.0, "mac.S1.tx_data": 7.0}
+    assert merged.gauges == {"sim.engine.events_processed": 15.0}
+    assert merged.histograms == {
+        "transport.S0.rtt_us": {"1500.0": 3, "2000.0": 4}
+    }
+    assert merged.meta == {"merged_from": 2}
+    assert validate_snapshot(merged) == []
+
+
+def test_merge_snapshots_is_order_independent():
+    from repro.obs import merge_snapshots
+
+    parts = [
+        _snap(counters={"mac.S0.tx_data": 1.0}),
+        _snap(counters={"mac.S0.tx_data": 4.0}, gauges={"sim.e.x": 2.0}),
+        _snap(histograms={"transport.S0.rtt_us": {"100.0": 1}}),
+    ]
+    forward = merge_snapshots(parts)
+    backward = merge_snapshots(list(reversed(parts)))
+    assert forward.to_dict() == backward.to_dict()
+
+
+def test_merge_snapshots_refuses_empty_and_mixed_schema():
+    from repro.obs import merge_snapshots
+
+    with pytest.raises(ValueError, match="zero"):
+        merge_snapshots([])
+    drifted = _snap(counters={"mac.S0.tx_data": 1.0})
+    drifted.schema_version = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema_version"):
+        merge_snapshots([_snap(), drifted])

@@ -41,6 +41,10 @@ def test_hit_on_identical_spec(tmp_path):
         "stores": 1,
         "errors": 0,
         "quarantined": 0,
+        "claims": 0,
+        "claim_conflicts": 0,
+        "lock_breaks": 0,
+        "waits": 0,
     }
 
 
@@ -196,6 +200,172 @@ def test_canonical_rejects_unstable_types():
 
     with pytest.raises(TypeError, match="canonicalise"):
         canonical({"bad": Opaque()})
+
+
+# ------------------------------------------------- advisory entry locking ---
+
+
+def test_claim_excludes_second_claim_until_released(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    claim = cache.try_claim(spec)
+    assert claim is not None
+    # Same process, lock already held: the second claim is refused (the lock
+    # carries our live pid, so it is not stale either).
+    assert cache.try_claim(spec) is None
+    assert cache.stats()["claim_conflicts"] == 1
+    claim.release()
+    claim.release()  # idempotent
+    again = cache.try_claim(spec)
+    assert again is not None
+    again.release()
+    assert cache.stats()["claims"] == 2
+
+
+def test_claims_for_different_specs_are_independent(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    with cache.try_claim(make_spec()) as first:
+        second = cache.try_claim(make_spec(nav_inflation_us=700.0))
+        assert first is not None and second is not None
+        second.release()
+
+
+def test_stale_lock_of_dead_process_is_broken(tmp_path):
+    import os
+    import subprocess
+    import sys
+
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    # A pid that provably belonged to a process that has exited.
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    lock = cache.lock_path_for(spec)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text(str(proc.pid))
+    claim = cache.try_claim(spec)
+    assert claim is not None  # stolen from the dead holder
+    assert cache.stats()["lock_breaks"] == 1
+    assert lock.read_text().strip() == str(os.getpid())
+    claim.release()
+
+
+def test_old_unreadable_lock_is_broken_by_age(tmp_path):
+    import os
+    import time
+
+    cache = ResultCache(tmp_path, version="v1", lock_stale_s=10.0)
+    spec = make_spec()
+    lock = cache.lock_path_for(spec)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text("not-a-pid")  # torn write: pid unreadable, age decides
+    old = time.time() - 60.0
+    os.utime(lock, (old, old))
+    claim = cache.try_claim(spec)
+    assert claim is not None
+    assert cache.stats()["lock_breaks"] == 1
+    claim.release()
+
+
+def test_wait_for_returns_entry_published_by_holder(tmp_path):
+    import threading
+    import time
+
+    holder = ResultCache(tmp_path, version="v1")
+    waiter = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    claim = holder.try_claim(spec)
+    assert claim is not None
+
+    def publish():
+        time.sleep(0.15)
+        holder.put(spec, RESULT)
+        claim.release()
+
+    thread = threading.Thread(target=publish)
+    thread.start()
+    try:
+        assert waiter.wait_for(spec, timeout_s=10.0, poll_s=0.01) == RESULT
+    finally:
+        thread.join()
+    assert waiter.stats()["waits"] == 1
+    assert waiter.stats()["hits"] == 1
+
+
+def test_wait_for_gives_up_fast_when_holder_died(tmp_path):
+    import subprocess
+    import sys
+    import time
+
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    lock = cache.lock_path_for(spec)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text(str(proc.pid))
+    start = time.monotonic()
+    assert cache.wait_for(spec, timeout_s=30.0, poll_s=0.01) is None
+    assert time.monotonic() - start < 5.0  # dead holder detected, no timeout
+
+
+def test_wait_for_times_out_on_live_holder_without_entry(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    spec = make_spec()
+    claim = cache.try_claim(spec)
+    try:
+        assert cache.wait_for(spec, timeout_s=0.1, poll_s=0.01) is None
+        assert cache.stats()["misses"] == 1
+    finally:
+        claim.release()
+
+
+def test_map_over_seeds_waits_for_a_concurrent_claimant(tmp_path):
+    """Two 'processes' sharing a cache dir: the loser of the claim race waits
+    for the winner's store instead of recomputing the entry."""
+    import threading
+    import time
+
+    winner = ResultCache(tmp_path)
+    loser = ResultCache(tmp_path)
+    job = seed_job(run_nav_pairs, duration_s=0.2, transport="udp")
+    spec = job.with_seed(1)
+    claim = winner.try_claim(spec)
+    assert claim is not None
+
+    def compute_and_publish():
+        time.sleep(0.2)
+        winner.put(spec, RESULT)
+        claim.release()
+
+    thread = threading.Thread(target=compute_and_publish)
+    thread.start()
+    try:
+        results = map_over_seeds(job, [1], cache=loser)
+    finally:
+        thread.join()
+    # The loser never computed: RESULT is the winner's (fake) payload, which
+    # a real simulation of this job would not produce.
+    assert results[1] == RESULT
+    assert loser.stats()["stores"] == 0
+    assert loser.stats()["waits"] == 1
+
+
+def test_map_over_seeds_recomputes_after_claimant_crash(tmp_path):
+    import subprocess
+    import sys
+
+    cache = ResultCache(tmp_path)
+    job = seed_job(run_nav_pairs, duration_s=0.2, transport="udp")
+    spec = job.with_seed(1)
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    lock = cache.lock_path_for(spec)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text(str(proc.pid))  # a claim whose holder is dead
+    results = map_over_seeds(job, [1], cache=cache)
+    assert results[1] == cache.get(spec)  # computed + stored despite the lock
+    assert cache.stats()["stores"] == 1
 
 
 def test_code_version_salt_is_folded_into_the_token():
