@@ -307,6 +307,21 @@ COMMENTARY: dict[str, tuple[str, str]] = {
         "both pairs roughly proportionally to its duty cycle without "
         "changing who wins.",
     ),
+    "ext_rts_roc": (
+        "Beyond the paper (attack zoo): \"Detection and Prevention Against "
+        "RTS Attacks\" — a sender-side dual of the paper's NAV inflation. "
+        "Large-NAV RTS frames to an absent receiver reserve the medium "
+        "without ever transmitting data.",
+        "The flood is a near-total DoS (victim goodput collapses from ~3.7 "
+        "Mbps unflooded to ~0.03 Mbps) and the streaming unanswered-RTS "
+        "detector separates it: with ~10 flood RTS per 100 ms window, "
+        "thresholds up to 8 flag the flooder on every seed; false "
+        "positives from honest RTS retries during collision bursts persist "
+        "through threshold 4 and vanish at 8, so threshold 8 is the clean "
+        "operating point, while 16 and above miss entirely.  The detector "
+        "runs live through the DetectionTap in constant memory, "
+        "event-identical to the offline replay (`repro detect diff`).",
+    ),
 }
 
 ORDER = [
@@ -315,8 +330,49 @@ ORDER = [
     "fig14", "fig15", "fig16", "fig17", "fig18", "table4", "table5",
     "fig19", "table6", "table7", "table8", "table9", "fig21", "fig22",
     "fig23", "fig24", "ext_autorate", "ext_sender_baseline",
-    "ext_bursty_nav", "ext_jammer_crash",
+    "ext_bursty_nav", "ext_jammer_crash", "ext_rts_roc",
 ]
+
+
+#: Hand-written trailer sections (not tied to a results/ table) that must
+#: survive regeneration.
+FOOTER = """\
+## perf: simulation backends
+
+Not a paper artifact — the measurement record for the `vectorized`
+simulation backend (DESIGN.md §12).  Both backends are **bit-exact** (all
+golden traces, fault traces, campaign metrics and the differential fuzz
+tiers agree byte-for-byte), so these numbers are pure wall-clock; pick a
+backend with `repro perf --backend`, `repro run --…` via
+`RunSettings(backend=…)`, or ambiently with `use_backend("vectorized")`.
+
+Committed references under `benchmarks/perf/` (min of 5 repeats, seed 1,
+this container): `baseline.json` (scalar, regression gate for
+`repro perf --check-regression`) and `baseline_vectorized.json` (same
+scenarios under the vectorized backend, gate for the CI
+`backend-diff-smoke` job).  Representative events/s ratios, vectorized
+over scalar:
+
+| scenario | stations | speedup |
+|---|---|---|
+| fig1_nav_udp | 4 | ~1.07x (scheduler-bound; little to batch) |
+| fig8_nav_tcp | 4 | ~1.10x |
+| spoof_tcp | 4 | ~0.99x |
+| dense_hotspot | 240 | **~1.23x** |
+
+`dense_hotspot` (48 hotspot cells, Figure 23 ranges, one ACK-NAV-inflating
+AP) is the workload class the backend targets: the scalar medium pays an
+O(stations) threshold filter per transmitted frame, the vectorized one a
+precomputed hearer-table lookup.  This PR's original acceptance target was
+≥3x on a paper scenario; the measured ceiling for *bit-exact*
+vectorization is ~1.2–1.5x on this machine (short smoke runs peak near
+1.5x; at full baseline duration steady-state traffic dilutes the
+transmit-filter share to the ~1.23x above) — once the filter is batched
+away, per-event Python dispatch dominates, and batching events themselves
+would break the byte-identical-trace contract.  The honest numbers are
+committed rather than the target; DESIGN.md §12 records the profile
+evidence.
+"""
 
 
 def main() -> int:
@@ -337,6 +393,7 @@ def main() -> int:
                 "*(measured table pending — run "
                 f"`python benchmarks/run_all.py {experiment_id}`)*\n"
             )
+    sections.append(FOOTER)
     out = ROOT / "EXPERIMENTS.md"
     out.write_text("\n".join(sections))
     print(f"wrote {out}" + (f" ({len(missing)} tables pending: {missing})" if missing else ""))

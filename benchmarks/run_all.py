@@ -45,7 +45,7 @@ ORDER = [
     "fig7", "fig8", "fig6", "table2", "fig4", "fig5",
     "fig14", "fig23", "fig9", "fig10", "fig15", "fig16",
     "ext_autorate", "ext_sender_baseline",
-    "ext_bursty_nav", "ext_jammer_crash",
+    "ext_bursty_nav", "ext_jammer_crash", "ext_rts_roc",
 ]
 
 
@@ -146,12 +146,17 @@ def main(argv: list[str] | None = None) -> int:
     # Emit artifacts in the deterministic requested order, whatever the
     # completion order was, and atomically so interrupts never truncate.
     mode = "quick" if args.quick else "full"
-    combined: list[str] = []
     for experiment_id in ids:
         report = reports[experiment_id]
         footer = f"(generated in {report['wall_s']:.1f}s, {mode} mode)\n"
         write_atomic(results_dir / f"{experiment_id}.txt", report["text"] + footer)
-        combined.append(report["text"] + footer)
+    # ALL.txt covers every experiment with an on-disk table, not just this
+    # invocation's subset, so partial reruns never gut the combined file.
+    combined = [
+        (results_dir / f"{experiment_id}.txt").read_text()
+        for experiment_id in ORDER
+        if experiment_id in known and (results_dir / f"{experiment_id}.txt").exists()
+    ]
     write_atomic(results_dir / "ALL.txt", "\n".join(combined))
 
     total_wall = time.time() - run_started

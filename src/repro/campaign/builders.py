@@ -425,6 +425,32 @@ def bursty_nav(
     )
 
 
+@register("rts_flood_roc")
+def rts_flood_roc(
+    seed: int,
+    duration_s: float,
+    threshold: int = 12,
+    flood: bool = True,
+    period_us: float = 10_000.0,
+    nav_us: float = 30_000.0,
+    window_us: float = 100_000.0,
+) -> dict[str, float]:
+    """Attack zoo: RTS-flood attacker vs the streaming unanswered-RTS
+    detector at one (threshold, flood on/off) operating point
+    (repro.faults + repro.core.detection.streaming)."""
+    from repro.experiments.ext_rts_roc import run_rts_flood_roc
+
+    return run_rts_flood_roc(
+        seed,
+        duration_s,
+        threshold=int(threshold),
+        flood=bool(flood),
+        period_us=float(period_us),
+        nav_us=float(nav_us),
+        window_us=float(window_us),
+    )
+
+
 @register("jammer_crash")
 def jammer_crash(
     seed: int,

@@ -366,6 +366,39 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------- detect -----
+
+
+def _cmd_detect_diff(args: argparse.Namespace) -> int:
+    from repro.detect.diff import QUICK_FUZZ_CASES, diff_detection
+
+    fuzz_cases = (
+        tuple(range(args.fuzz_cases))
+        if args.fuzz_cases is not None
+        else QUICK_FUZZ_CASES
+    )
+    try:
+        reports = diff_detection(
+            targets=args.targets or None,
+            golden_dir=args.golden_dir,
+            fuzz_cases=fuzz_cases,
+            fuzz_duration_s=args.fuzz_duration,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    failures = [report for report in reports if not report.ok]
+    for report in failures:
+        print(f"DIVERGED {report.summary_line()}")
+        for problem in report.problems:
+            print(f"  {problem}")
+    if failures:
+        return 1
+    print(f"{len(reports)} target(s): streaming detection matches offline")
+    return 0
+
+
 # ----------------------------------------------------------- campaigns -----
 
 
@@ -1139,6 +1172,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiment targets at paper scale instead of quick mode",
     )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_detect = sub.add_parser(
+        "detect",
+        help="streaming misbehavior detection tooling (equivalence gate)",
+    )
+    detect_sub = p_detect.add_subparsers(dest="detect_command", required=True)
+    p_detect_diff = detect_sub.add_parser(
+        "diff",
+        help="differential-test streaming vs offline detection (event-"
+        "identical on golden traces, live scenarios and fuzzed workloads, "
+        "bounded-memory high-water check)",
+    )
+    p_detect_diff.add_argument(
+        "targets",
+        nargs="*",
+        help="golden trace names and/or perf scenarios (default: every "
+        "golden trace, every perf scenario live, plus the fuzz subset)",
+    )
+    p_detect_diff.add_argument(
+        "--golden-dir",
+        default=None,
+        help="directory holding the committed golden traces "
+        "(default: tests/golden of the source checkout)",
+    )
+    p_detect_diff.add_argument(
+        "--fuzz-cases",
+        type=int,
+        default=None,
+        help="number of fuzzed scenarios when running without targets "
+        "(default: the quick subset of 10)",
+    )
+    p_detect_diff.add_argument(
+        "--fuzz-duration",
+        type=float,
+        default=0.05,
+        help="simulated seconds per fuzzed scenario (default: 0.05)",
+    )
+    p_detect_diff.set_defaults(func=_cmd_detect_diff)
 
     p_metrics = sub.add_parser(
         "metrics", help="run a scenario/experiment with telemetry and dump metrics"

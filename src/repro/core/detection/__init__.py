@@ -13,6 +13,16 @@ likelihood of detection.  Components:
 * :class:`FakeAckDetector` — compares per-transmission MAC loss with probed
   application loss; fake ACKs make application loss far exceed
   ``MACLoss^(maxRetries+1)``.
+
+Two additional flavors analyze **traces** rather than hooking the MAC:
+
+* :mod:`repro.core.detection.streaming` — incremental, constant-memory
+  detectors that consume :class:`~repro.stats.trace.TraceRecord` events one
+  at a time (live via :class:`~repro.core.detection.streaming.DetectionTap`,
+  or replayed from JSONL).
+* :mod:`repro.core.detection.offline` — independent batch analyzers over
+  complete traces; the reference the streaming pipeline is diffed against
+  (:mod:`repro.detect.diff`).
 """
 
 from repro.core.detection.report import DetectionEvent, DetectionReport
@@ -20,6 +30,19 @@ from repro.core.detection.nav import NavValidator
 from repro.core.detection.spoof import CrossLayerSpoofDetector, RssiSpoofDetector
 from repro.core.detection.fake import FakeAckDetector, ProbeResponder, Prober
 from repro.core.detection.monitor import MisbehaviorMonitor, OffenderVerdict
+from repro.core.detection.offline import analyze_trace
+from repro.core.detection.streaming import (
+    DetectionTap,
+    LiveDetectionSession,
+    StreamingDetectionPipeline,
+    StreamingDetector,
+    StreamingImpersonationDetector,
+    StreamingNavDetector,
+    StreamingRtsFloodDetector,
+    current_live_detection,
+    default_pipeline,
+    live_detection,
+)
 
 __all__ = [
     "DetectionEvent",
@@ -32,4 +55,15 @@ __all__ = [
     "ProbeResponder",
     "MisbehaviorMonitor",
     "OffenderVerdict",
+    "analyze_trace",
+    "DetectionTap",
+    "LiveDetectionSession",
+    "StreamingDetectionPipeline",
+    "StreamingDetector",
+    "StreamingImpersonationDetector",
+    "StreamingNavDetector",
+    "StreamingRtsFloodDetector",
+    "current_live_detection",
+    "default_pipeline",
+    "live_detection",
 ]

@@ -1,0 +1,533 @@
+"""Streaming (online) misbehavior detection over frame-trace events.
+
+The GRC detectors in :mod:`nav <repro.core.detection.nav>` / :mod:`spoof
+<repro.core.detection.spoof>` / :mod:`fake <repro.core.detection.fake>` live
+inside the MAC and see receptions; the *offline* analysis path
+(:mod:`repro.core.detection.offline`) sees a complete
+:class:`~repro.stats.trace.TraceRecord` list after the run.  Neither scales
+to the ROADMAP north-star of watching production traffic continuously: the
+offline pass retains the full trace, and a full trace grows without bound.
+
+This module rebuilds trace-level detection as a **streaming pipeline**:
+each :class:`StreamingDetector` consumes one :class:`TraceRecord` at a time,
+emits zero or more :class:`~repro.core.detection.report.DetectionEvent`\\ s,
+and keeps only bounded sliding-window state — ``state_size()`` never exceeds
+``bound()``, which the differential harness (:mod:`repro.detect.diff`)
+asserts as a memory high-water mark.  Detector state is snapshottable to
+plain JSON-able data, so a monitor can checkpoint/restore mid-stream and a
+trace can be replayed in arbitrary chunks with identical output (the
+chunking-invariance property test in tests/test_streaming_detection.py).
+
+The correctness contract is *event-identity with the offline analyzers* on
+every trace: ``repro detect diff`` compares canonicalized event lines from
+both implementations on the committed golden traces and on fuzzed
+scenarios, exactly as the PR-6 backend gate compares scalar vs vectorized
+frame traces.
+
+Live wiring: :class:`DetectionTap` wraps ``medium.transmit`` (the same seam
+:class:`~repro.stats.trace.FrameTracer` uses) so the pipeline runs *during*
+simulation without retaining records; :func:`live_detection` is the ambient
+opt-in — every :class:`~repro.net.scenario.Scenario` built inside the
+context attaches a tap, mirroring how :func:`repro.obs.capture` attaches
+telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.detection.report import DetectionEvent, DetectionReport
+from repro.mac.frames import max_cts_nav, rts_duration
+from repro.phy.params import PhyParams, dot11b
+
+__all__ = [
+    "StreamingDetector",
+    "StreamingNavDetector",
+    "StreamingImpersonationDetector",
+    "StreamingRtsFloodDetector",
+    "StreamingDetectionPipeline",
+    "DetectionTap",
+    "LiveDetectionSession",
+    "live_detection",
+    "current_live_detection",
+    "default_pipeline",
+]
+
+#: Observer name recorded by trace-level detectors: they watch the medium
+#: itself (like the paper's "any node can run the scheme" monitor), not one
+#: station's receptions.
+TRACE_OBSERVER = "monitor"
+
+
+class StreamingDetector:
+    """One incremental detector: feed events in, get detections out.
+
+    Subclasses implement :meth:`feed` (and the state protocol); the base
+    class pins down the contract:
+
+    * ``feed(record)`` must be **chunking-invariant**: the emitted event
+      sequence depends only on the records fed so far, never on call
+      boundaries.
+    * ``snapshot()`` returns plain JSON-able data; ``restore(state)`` on a
+      fresh instance resumes the stream with identical future output.
+    * ``state_size()`` (retained items) must never exceed ``bound()`` —
+      the constant-memory promise the diff harness asserts.
+    """
+
+    #: Detector label used in emitted events (e.g. ``"nav"``).
+    name: str = "streaming"
+
+    def feed(self, record: Any) -> list[DetectionEvent]:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        if state:
+            raise ValueError(f"{type(self).__name__} expected empty state")
+
+    def state_size(self) -> int:
+        """Number of retained state items (window entries, table rows)."""
+        return 0
+
+    def bound(self) -> int:
+        """Hard upper bound on :meth:`state_size` — the memory contract."""
+        return 0
+
+
+class StreamingNavDetector(StreamingDetector):
+    """Trace-level NAV-inflation detection (the paper's Section VII-A rule).
+
+    Mirrors :class:`~repro.core.detection.nav.NavValidator` but consumes the
+    transmission stream instead of one station's receptions: every frame's
+    claimed NAV is checked against the kind-specific expectation, with CTS
+    expectations derived from the most recent overheard RTS of the exchange.
+
+    State is one ``responder -> (expected CTS NAV, expiry)`` entry per
+    in-flight RTS/CTS exchange.  Expired entries are purged on every feed;
+    purging is output-neutral because an expired entry and an absent one
+    both fall back to the MTU bound — which is what keeps the table bounded
+    by the number of exchanges that can overlap one maximum NAV interval.
+    """
+
+    name = "nav"
+
+    def __init__(
+        self,
+        phy: PhyParams | None = None,
+        observer: str = TRACE_OBSERVER,
+        mtu_bytes: int = 1500,
+        tolerance_us: float = 5.0,
+        max_tracked: int = 4096,
+    ) -> None:
+        self.phy = phy if phy is not None else dot11b()
+        self.observer = observer
+        self.mtu_bytes = mtu_bytes
+        self.tolerance_us = tolerance_us
+        self.max_tracked = max_tracked
+        self._expected_cts: dict[str, tuple[float, float]] = {}
+        # Cache the two per-PHY constants; they are pure functions of phy.
+        self._rts_expected = rts_duration(self.phy, mtu_bytes)
+        self._cts_fallback = max_cts_nav(self.phy, mtu_bytes)
+
+    def feed(self, record: Any) -> list[DetectionEvent]:
+        now = record.time_us
+        kind = record.kind
+        if kind == "RTS":
+            self._purge(now)
+            claimed = min(record.nav_us, self._rts_expected)
+            expected_cts = max(0.0, claimed - self.phy.sifs - self.phy.cts_time)
+            self._expected_cts[record.dst] = (
+                expected_cts,
+                now + claimed + self.tolerance_us,
+            )
+            expected = self._rts_expected
+        elif kind == "CTS":
+            entry = self._expected_cts.get(record.src)
+            if entry is not None and now <= entry[1]:
+                expected = entry[0]
+            else:
+                if entry is not None:
+                    del self._expected_cts[record.src]
+                expected = self._cts_fallback
+        elif kind == "DATA":
+            expected = self.phy.sifs + self.phy.ack_time
+        else:  # ACK: zero without fragmentation
+            expected = 0.0
+        if record.nav_us > expected + self.tolerance_us:
+            return [
+                DetectionEvent(
+                    now,
+                    self.name,
+                    self.observer,
+                    record.src,
+                    f"{kind} NAV {record.nav_us:.0f}us > expected {expected:.0f}us",
+                )
+            ]
+        return []
+
+    def _purge(self, now: float) -> None:
+        if self._expected_cts:
+            expired = [r for r, (_, exp) in self._expected_cts.items() if exp < now]
+            for responder in expired:
+                del self._expected_cts[responder]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "expected_cts": {
+                r: [expected, expires]
+                for r, (expected, expires) in self._expected_cts.items()
+            }
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self._expected_cts = {
+            r: (float(expected), float(expires))
+            for r, (expected, expires) in state.get("expected_cts", {}).items()
+        }
+
+    def state_size(self) -> int:
+        return len(self._expected_cts)
+
+    def bound(self) -> int:
+        return self.max_tracked
+
+
+class StreamingImpersonationDetector(StreamingDetector):
+    """Frames whose claimed source differs from the transmitting radio.
+
+    The streaming counterpart of
+    :meth:`repro.stats.trace.FrameTracer.impersonations` — the omniscient
+    view of misbehavior 2 (spoofed ACKs), usable wherever the monitor can
+    attribute transmissions to radios (simulation, or a testbed sniffer
+    with per-antenna attribution).  Stateless.
+    """
+
+    name = "impersonation"
+
+    def __init__(self, observer: str = TRACE_OBSERVER) -> None:
+        self.observer = observer
+
+    def feed(self, record: Any) -> list[DetectionEvent]:
+        if record.src != record.sender:
+            return [
+                DetectionEvent(
+                    record.time_us,
+                    self.name,
+                    self.observer,
+                    record.sender,
+                    f"{record.kind} claims src {record.src}",
+                )
+            ]
+        return []
+
+
+class StreamingRtsFloodDetector(StreamingDetector):
+    """RTS-flood detection: too many *unanswered* RTS in a sliding window.
+
+    The attack (see :class:`repro.faults.rtsflood.RtsFloodConfig`) transmits
+    RTS frames carrying a large NAV to a station that will never reply, so
+    every overhearer defers for the claimed reservation while the flooder
+    pays only the RTS airtime.  Honest senders also emit RTS bursts under
+    contention, but theirs are followed by DATA; the discriminating
+    statistic is therefore ``#RTS - #DATA`` per sender over a sliding
+    window.  When the excess exceeds ``threshold`` the sender is flagged,
+    then the alarm re-arms after ``cooldown_us`` (one detection per
+    sustained burst, not one per frame).
+
+    The threshold is the ROC sweep axis of the ``ext_rts_roc`` campaign:
+    low thresholds catch slow floods but flag honest collision bursts
+    (false positives), high thresholds are specific but slow.
+    """
+
+    name = "rts-flood"
+
+    def __init__(
+        self,
+        observer: str = TRACE_OBSERVER,
+        window_us: float = 100_000.0,
+        threshold: int = 12,
+        cooldown_us: float = 100_000.0,
+        max_window_frames: int = 4096,
+        max_tracked_senders: int = 1024,
+    ) -> None:
+        if window_us <= 0:
+            raise ValueError(f"window_us must be positive, got {window_us}")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.observer = observer
+        self.window_us = window_us
+        self.threshold = threshold
+        self.cooldown_us = cooldown_us
+        self.max_window_frames = max_window_frames
+        self.max_tracked_senders = max_tracked_senders
+        self._rts: dict[str, deque[float]] = {}
+        self._data: dict[str, deque[float]] = {}
+        self._rearm_at: dict[str, float] = {}
+
+    def feed(self, record: Any) -> list[DetectionEvent]:
+        kind = record.kind
+        if kind not in ("RTS", "DATA"):
+            return []
+        now = record.time_us
+        sender = record.sender
+        table = self._rts if kind == "RTS" else self._data
+        window = table.get(sender)
+        if window is None:
+            window = deque(maxlen=self.max_window_frames)
+            table[sender] = window
+        window.append(now)
+        horizon = now - self.window_us
+        self._trim(self._rts.get(sender), horizon)
+        self._trim(self._data.get(sender), horizon)
+        if kind != "RTS":
+            return []
+        rts_count = len(window)
+        data_count = len(self._data.get(sender, ()))
+        excess = rts_count - data_count
+        if excess <= self.threshold:
+            return []
+        rearm = self._rearm_at.get(sender, 0.0)
+        if now < rearm:
+            return []
+        self._rearm_at[sender] = now + self.cooldown_us
+        return [
+            DetectionEvent(
+                now,
+                self.name,
+                self.observer,
+                sender,
+                f"{excess} unanswered RTS in {self.window_us:.0f}us window "
+                f"(threshold {self.threshold})",
+            )
+        ]
+
+    @staticmethod
+    def _trim(window: deque | None, horizon: float) -> None:
+        if window:
+            while window and window[0] <= horizon:
+                window.popleft()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "rts": {s: list(w) for s, w in self._rts.items() if w},
+            "data": {s: list(w) for s, w in self._data.items() if w},
+            "rearm_at": dict(self._rearm_at),
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self._rts = {
+            s: deque(times, maxlen=self.max_window_frames)
+            for s, times in state.get("rts", {}).items()
+        }
+        self._data = {
+            s: deque(times, maxlen=self.max_window_frames)
+            for s, times in state.get("data", {}).items()
+        }
+        self._rearm_at = dict(state.get("rearm_at", {}))
+
+    def state_size(self) -> int:
+        return (
+            sum(len(w) for w in self._rts.values())
+            + sum(len(w) for w in self._data.values())
+            + len(self._rearm_at)
+        )
+
+    def bound(self) -> int:
+        # Each sender holds at most two full windows plus one re-arm stamp.
+        return self.max_tracked_senders * (2 * self.max_window_frames + 1)
+
+
+class StreamingDetectionPipeline:
+    """Fans one event stream out to several detectors; accumulates a report.
+
+    Also tracks the **memory high-water mark** across all detectors — the
+    number the diff harness asserts against the summed bounds, turning the
+    constant-memory promise into a checkable invariant rather than a code
+    comment.
+    """
+
+    def __init__(
+        self,
+        detectors: Iterable[StreamingDetector],
+        report: DetectionReport | None = None,
+    ) -> None:
+        self.detectors = list(detectors)
+        if not self.detectors:
+            raise ValueError("pipeline needs at least one detector")
+        self.report = report if report is not None else DetectionReport()
+        self.records_seen = 0
+        self.high_water = 0
+
+    def feed(self, record: Any) -> list[DetectionEvent]:
+        self.records_seen += 1
+        emitted: list[DetectionEvent] = []
+        for detector in self.detectors:
+            emitted.extend(detector.feed(record))
+        if emitted:
+            events = self.report.events
+            for event in emitted:
+                if len(events) < self.report.max_events:
+                    events.append(event)
+        size = sum(d.state_size() for d in self.detectors)
+        if size > self.high_water:
+            self.high_water = size
+        return emitted
+
+    def feed_many(self, records: Iterable[Any]) -> None:
+        for record in records:
+            self.feed(record)
+
+    @property
+    def events(self) -> list[DetectionEvent]:
+        return self.report.events
+
+    def bound(self) -> int:
+        return sum(d.bound() for d in self.detectors)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Checkpoint all detector state (not the accumulated report)."""
+        return {
+            "records_seen": self.records_seen,
+            "detectors": [d.snapshot() for d in self.detectors],
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        states = state.get("detectors", [])
+        if len(states) != len(self.detectors):
+            raise ValueError(
+                f"snapshot has {len(states)} detector states, "
+                f"pipeline has {len(self.detectors)}"
+            )
+        self.records_seen = int(state.get("records_seen", 0))
+        for detector, detector_state in zip(self.detectors, states):
+            detector.restore(detector_state)
+
+
+def default_pipeline(
+    phy: PhyParams | None = None,
+    report: DetectionReport | None = None,
+    nav_tolerance_us: float = 5.0,
+    rts_flood_threshold: int = 12,
+    rts_flood_window_us: float = 100_000.0,
+) -> StreamingDetectionPipeline:
+    """The standard trace-level detector set (NAV + impersonation + flood)."""
+    return StreamingDetectionPipeline(
+        [
+            StreamingNavDetector(phy, tolerance_us=nav_tolerance_us),
+            StreamingImpersonationDetector(),
+            StreamingRtsFloodDetector(
+                threshold=rts_flood_threshold, window_us=rts_flood_window_us
+            ),
+        ],
+        report=report,
+    )
+
+
+class DetectionTap:
+    """Feeds a pipeline live from ``medium.transmit`` — no trace retention.
+
+    Same wrap seam as :class:`~repro.stats.trace.FrameTracer`, but the
+    record is constructed, fed and dropped; memory stays bounded by the
+    pipeline's windows however long the run.  The tap only *observes* (no
+    RNG draws, no MAC interaction), so attaching it never changes the
+    simulation — goodputs and traces are byte-identical with or without it.
+    """
+
+    def __init__(self, medium: Any, pipeline: StreamingDetectionPipeline) -> None:
+        from repro.stats.trace import TraceRecord
+
+        self.pipeline = pipeline
+        self._record_cls = TraceRecord
+        self._medium = medium
+        self._original_transmit = medium.transmit
+        medium.transmit = self._tapped_transmit
+
+    def _tapped_transmit(self, sender: Any, frame: Any, duration: float) -> None:
+        self.pipeline.feed(
+            self._record_cls(
+                time_us=self._medium.sim.now,
+                sender=sender.name,
+                kind=frame.kind.value,
+                src=frame.src,
+                dst=frame.dst,
+                nav_us=frame.duration,
+                size_bytes=frame.size_bytes,
+                rate_mbps=getattr(frame, "rate", None),
+                airtime_us=duration,
+            )
+        )
+        self._original_transmit(sender, frame, duration)
+
+    def detach(self) -> None:
+        self._medium.transmit = self._original_transmit
+
+
+# ------------------------------------------------- ambient live detection --
+
+
+class LiveDetectionSession:
+    """Collects the pipelines of every scenario built inside the context."""
+
+    def __init__(
+        self, pipeline_factory: "Callable[[PhyParams], StreamingDetectionPipeline] | None" = None
+    ) -> None:
+        self._factory = pipeline_factory
+        self.pipelines: list[StreamingDetectionPipeline] = []
+
+    def make_pipeline(self, phy: PhyParams) -> StreamingDetectionPipeline:
+        pipeline = (
+            self._factory(phy) if self._factory is not None else default_pipeline(phy)
+        )
+        self.pipelines.append(pipeline)
+        return pipeline
+
+    def total_events(self) -> int:
+        return sum(len(p.events) for p in self.pipelines)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat roll-up for attaching to experiment results."""
+        by_detector: dict[str, int] = {}
+        for pipeline in self.pipelines:
+            for event in pipeline.events:
+                by_detector[event.detector] = by_detector.get(event.detector, 0) + 1
+        return {
+            "scenarios": len(self.pipelines),
+            "events": self.total_events(),
+            "by_detector": dict(sorted(by_detector.items())),
+            "high_water": max((p.high_water for p in self.pipelines), default=0),
+        }
+
+
+_live_detection: ContextVar[LiveDetectionSession | None] = ContextVar(
+    "repro_live_detection", default=None
+)
+
+
+def current_live_detection() -> LiveDetectionSession | None:
+    """The ambient live-detection session, or None when not inside one."""
+    return _live_detection.get()
+
+
+@contextmanager
+def live_detection(
+    session: LiveDetectionSession | None = None,
+) -> Iterator[LiveDetectionSession]:
+    """Ambient opt-in: scenarios built inside attach a streaming tap.
+
+    Mirrors :func:`repro.obs.capture` / :func:`repro.sim.backend.use_backend`
+    — selection is ambient so experiment runners and campaign builders pick
+    it up without signature changes (:class:`~repro.net.scenario.Scenario`
+    checks :func:`current_live_detection` at construction time).
+    """
+    if session is None:
+        session = LiveDetectionSession()
+    token = _live_detection.set(session)
+    try:
+        yield session
+    finally:
+        _live_detection.reset(token)

@@ -171,6 +171,10 @@ REGISTRY: dict[str, ExperimentEntry] = {
                "Goodput under periodic jamming and station crash/reboot",
                ("faults", "jammer", "crash"), builder="jammer_crash",
                extension=True),
+        _entry("ext_rts_roc", "ext_rts_roc", "Extension",
+               "Streaming RTS-flood detector ROC (attack zoo, Section VII)",
+               ("grc", "faults", "detection"), builder="rts_flood_roc",
+               extension=True),
     )
 }
 

@@ -72,6 +72,12 @@ class RunSettings:
     #: scenario the experiment builds picks it up — runner signatures stay
     #: unchanged because selection is ambient.
     backend: str | None = None
+    #: Run the streaming misbehavior detectors live during every simulation
+    #: the experiment builds (:func:`repro.core.detection.streaming
+    #: .live_detection`); the session roll-up lands on ``result.streaming``.
+    #: Off by default: the tap only observes, but attaching it costs one
+    #: record construction per transmission.
+    streaming_detection: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "quick"):
@@ -151,7 +157,7 @@ def experiment_api(
     body stays reachable as ``run.__wrapped__``.
     """
 
-    def _body(resolved: RunSettings) -> ExperimentResult:
+    def _telemetry_body(resolved: RunSettings) -> ExperimentResult:
         if not resolved.telemetry:
             return fn(resolved)
         from repro.obs import MetricsRegistry, capture
@@ -160,6 +166,16 @@ def experiment_api(
         with capture(registry):
             result = fn(resolved)
         result.telemetry = registry.snapshot(experiment=fn.__module__.rsplit(".", 1)[-1])
+        return result
+
+    def _body(resolved: RunSettings) -> ExperimentResult:
+        if not resolved.streaming_detection:
+            return _telemetry_body(resolved)
+        from repro.core.detection.streaming import live_detection
+
+        with live_detection() as session:
+            result = _telemetry_body(resolved)
+        result.streaming = session.summary()
         return result
 
     @functools.wraps(fn)

@@ -25,7 +25,9 @@ from repro.faults.plan import (
     FaultPlan,
     GilbertElliottConfig,
     JammerConfig,
+    RtsFloodConfig,
 )
+from repro.faults.rtsflood import RtsFlooder
 
 __all__ = [
     "CrashConfig",
@@ -36,4 +38,6 @@ __all__ = [
     "JamFrame",
     "Jammer",
     "JammerConfig",
+    "RtsFloodConfig",
+    "RtsFlooder",
 ]

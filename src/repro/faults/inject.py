@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any
 from repro.faults.channel import GilbertElliottChannel
 from repro.faults.jammer import Jammer
 from repro.faults.plan import FaultPlan
+from repro.faults.rtsflood import RtsFlooder
 
 if TYPE_CHECKING:
     from repro.net.scenario import Scenario
@@ -31,6 +32,7 @@ class FaultInjector:
         self.plan = plan
         self.channel: GilbertElliottChannel | None = None
         self.jammer: Jammer | None = None
+        self.rts_flooder: RtsFlooder | None = None
         medium = scenario.medium
         obs = scenario.obs
         if plan.channel is not None:
@@ -47,6 +49,17 @@ class FaultInjector:
                 medium,
                 plan.jammer,
                 scenario.streams.stream("faults.jammer"),
+                obs=obs,
+            )
+        if plan.rts_flood is not None:
+            # Real decodable frames on the normal delivery path — like the
+            # jammer, no delivery hook is needed, so a flood-only plan keeps
+            # ``medium.faults`` unset and the delivery hot path untouched.
+            self.rts_flooder = RtsFlooder(
+                scenario.sim,
+                medium,
+                plan.rts_flood,
+                scenario.streams.stream("faults.rtsflood"),
                 obs=obs,
             )
         for crash in plan.crashes:
@@ -89,4 +102,6 @@ class FaultInjector:
             out["channel_transitions_to_bad"] = self.channel.transitions_to_bad
         if self.jammer is not None:
             out["jammer_bursts"] = self.jammer.bursts
+        if self.rts_flooder is not None:
+            out["rtsflood_frames"] = self.rts_flooder.frames_sent
         return out

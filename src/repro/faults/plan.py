@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.phy.params import MAX_NAV_US
+
 
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
@@ -106,16 +108,63 @@ class CrashConfig:
 
 
 @dataclass(frozen=True)
+class RtsFloodConfig:
+    """RTS-flood attacker: large-NAV RTS frames to a receiver that never
+    replies (the first attack-zoo entry; model in
+    :mod:`repro.faults.rtsflood`).
+
+    Every overhearer honors the claimed reservation, so the channel is
+    reserved over and over while the attacker pays only the RTS airtime.
+    ``nav_us`` is the reservation each RTS claims (clamped to the 802.11
+    duration-field maximum), ``period_us`` the flood period; the duty cycle
+    of *claimed* airtime is ``nav_us / period_us``.  ``jitter_us`` adds a
+    uniform random extra gap per period drawn from the dedicated
+    ``faults.rtsflood`` stream.
+    """
+
+    period_us: float = 2_000.0
+    nav_us: float = 30_000.0
+    start_us: float = 1_000.0
+    jitter_us: float = 0.0
+    name: str = "FLOODER"
+    dst: str = "__absent__"
+    position: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError(f"period_us must be positive, got {self.period_us}")
+        if not 0 < self.nav_us <= MAX_NAV_US:
+            raise ValueError(
+                f"nav_us must be in (0, {MAX_NAV_US}], got {self.nav_us}"
+            )
+        if self.jitter_us < 0:
+            raise ValueError(f"jitter_us must be >= 0, got {self.jitter_us}")
+        if self.start_us < 0:
+            raise ValueError(f"start_us must be >= 0, got {self.start_us}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
-    """The complete impairment configuration of one scenario."""
+    """The complete impairment configuration of one scenario.
+
+    ``rts_flood`` (an attack-zoo entry, see :mod:`repro.faults.rtsflood`)
+    rides the same plan: attacks are impairments with intent, and keeping
+    them declarative buys the same bit-identical-replay guarantee.
+    """
 
     channel: GilbertElliottConfig | None = None
     jammer: JammerConfig | None = None
     crashes: tuple[CrashConfig, ...] = ()
+    rts_flood: RtsFloodConfig | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
 
     @property
     def empty(self) -> bool:
-        return self.channel is None and self.jammer is None and not self.crashes
+        return (
+            self.channel is None
+            and self.jammer is None
+            and not self.crashes
+            and self.rts_flood is None
+        )

@@ -1,0 +1,77 @@
+"""RTS-flood attacker: the first attack-zoo entry beyond the paper.
+
+"Detection and Prevention Against RTS Attacks in Wireless LAN" (PAPERS.md)
+names the attack: a station transmits a stream of RTS frames carrying large
+NAV values addressed to a receiver that will never reply.  Every overhearer
+honors the claimed reservation (virtual carrier sense), so the channel is
+reserved over and over while the attacker pays only the RTS airtime — a
+denial of service that needs no data traffic at all.  It is the sender-side
+dual of the paper's greedy-receiver NAV inflation: same NAV lever, no
+exchange behind it.
+
+Mechanically the flooder follows the :class:`~repro.faults.jammer.Jammer`
+pattern — a bare MAC-less :class:`~repro.phy.medium.Radio` that neither
+carrier-senses nor backs off — but its frames are **real, decodable RTS
+frames**: honest stations receive them cleanly, run NAV validation on them
+if enabled, and defer.  Nobody answers (the destination does not exist), so
+the flood shows up in a trace as RTS after RTS with no DATA behind them —
+exactly the statistic
+:class:`~repro.core.detection.streaming.StreamingRtsFloodDetector` keys on,
+and the axis the ``ext_rts_roc`` campaign sweeps.
+
+Timing is deterministic: floods start at ``start_us`` and repeat every
+``period_us`` plus optional uniform jitter from the dedicated
+``faults.rtsflood`` stream — enabling the flooder perturbs no other RNG
+draws, so the clean goldens stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.faults.plan import RtsFloodConfig
+from repro.mac.frames import Frame, FrameKind, frame_size
+from repro.phy.medium import Medium, Radio
+from repro.sim.engine import Simulator
+
+
+class RtsFlooder:
+    """Schedules the RTS flood on the engine for the lifetime of the run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        config: RtsFloodConfig,
+        rng: random.Random,
+        obs: Any = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.config = config
+        self.rng = rng
+        self.obs = obs
+        self.radio = Radio(medium, config.name, config.position)
+        self.frames_sent = 0
+        sim.call_at(config.start_us, self._flood)
+
+    def _flood(self) -> None:
+        config = self.config
+        if not self.radio.transmitting:  # period > rts_time for sane configs
+            frame = Frame(
+                FrameKind.RTS,
+                config.name,
+                config.dst,
+                config.nav_us,
+                frame_size(FrameKind.RTS),
+            )
+            self.radio.transmit(frame, self.medium.phy.rts_time)
+            self.frames_sent += 1
+            if self.obs is not None:
+                self.obs.inc("faults.rtsflood.frames")
+                self.obs.inc("faults.rtsflood.claimed_nav_us", config.nav_us)
+        delay = config.period_us
+        if config.jitter_us > 0:
+            delay += self.rng.random() * config.jitter_us
+        self.sim.call_after(delay, self._flood)

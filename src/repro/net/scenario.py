@@ -15,6 +15,7 @@ from repro.core.detection import (
     NavValidator,
     RssiSpoofDetector,
 )
+from repro.core.detection.streaming import current_live_detection
 from repro.core.greedy import GreedyConfig, GreedyReceiverPolicy
 from repro.mac.dcf import DcfMac
 from repro.mac.policy import ReceiverPolicy
@@ -119,6 +120,16 @@ class Scenario:
         #: are strictly opt-in via :meth:`install_faults`; without it the
         #: scenario runs the exact pre-fault code paths.
         self.fault_injector: Any = None
+        #: Live streaming-detection pipeline
+        #: (:mod:`repro.core.detection.streaming`) or None.  Opt-in: either
+        #: ambient via :func:`~repro.core.detection.streaming.live_detection`
+        #: (checked here, mirroring the telemetry capture()) or explicit via
+        #: :meth:`attach_streaming_detection`.
+        self.streaming_pipeline: Any = None
+        self._detection_tap: Any = None
+        session = current_live_detection()
+        if session is not None:
+            self.attach_streaming_detection(session.make_pipeline(self.phy))
 
     # ------------------------------------------------------------- nodes ----
 
@@ -339,6 +350,31 @@ class Scenario:
             rates = DOT11A_RATES if self.phy.ofdm else DOT11B_RATES
         for name in node_names if node_names is not None else list(self.macs):
             self.macs[name].rate_controller = ArfRateController(rates, **arf_kwargs)
+
+    # ----------------------------------------------------------- detection ---
+
+    def attach_streaming_detection(self, pipeline: "Any" = None) -> "Any":
+        """Run streaming misbehavior detection live, *during* the simulation.
+
+        Wraps ``medium.transmit`` with a
+        :class:`~repro.core.detection.streaming.DetectionTap` feeding
+        ``pipeline`` (default: the standard
+        :func:`~repro.core.detection.streaming.default_pipeline` for this
+        scenario's PHY).  The tap only observes — no RNG draws, no MAC
+        interaction — so attaching it never changes simulation behavior.
+        Returns the pipeline; its accumulated
+        :class:`~repro.core.detection.report.DetectionReport` is
+        ``pipeline.report``.
+        """
+        from repro.core.detection.streaming import DetectionTap, default_pipeline
+
+        if self._detection_tap is not None:
+            raise RuntimeError("streaming detection is already attached")
+        if pipeline is None:
+            pipeline = default_pipeline(self.phy)
+        self.streaming_pipeline = pipeline
+        self._detection_tap = DetectionTap(self.medium, pipeline)
+        return pipeline
 
     # -------------------------------------------------------------- faults ---
 

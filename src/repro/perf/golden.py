@@ -37,6 +37,10 @@ GOLDEN_TRACE_RUNS: dict[str, tuple[int, float]] = {
     "fig1_nav_udp": (1, 0.25),
     "fig8_nav_tcp": (1, 0.25),
     "spoof_tcp": (2, 0.25),
+    # GRC detection operating points (added with the streaming-detection
+    # gate): dense NAV inflation and ACK spoofing under active detectors.
+    "grc_nav": (1, 0.25),
+    "grc_spoof": (2, 0.25),
 }
 
 

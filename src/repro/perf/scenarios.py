@@ -194,6 +194,87 @@ def _dense_hotspot(seed: int) -> BuiltScenario:
 
 
 @_register(
+    "grc_nav",
+    "GRC NAV-validation operating point: GR inflates CTS NAV by 31 ms, "
+    "honest pair runs the Section VII-A validator (Figure 21/23 regime)",
+    duration_s=2.0,
+)
+def _grc_nav(seed: int) -> BuiltScenario:
+    """The detection-side companion of ``fig1_nav_udp``.
+
+    Positioned nodes with the paper's 55 m / 99 m ranges, a near-maximal
+    CTS NAV inflation (31 ms, just under the 802.11 duration-field cap) and
+    the GRC NAV validator enabled on the honest pair — so the committed
+    golden trace carries a dense stream of inflated NAV values for the
+    trace-level detectors, and ``s.report`` carries the MAC-level
+    detections the paper's countermeasure produces.
+    """
+    s = Scenario(seed=seed, ranges=(55.0, 99.0))
+    s.add_wireless_node("S0", position=(0.0, 0.0))
+    s.add_wireless_node("R0", position=(50.0, 0.0))
+    s.add_wireless_node("S1", position=(0.0, 5.0))
+    s.add_wireless_node(
+        "R1",
+        position=(5.0, 5.0),
+        greedy=GreedyConfig.nav_inflator(31_000.0, frozenset({FrameKind.CTS})),
+    )
+    s.enable_nav_validation(["S0", "R0"])
+    src0, sink0 = s.udp_flow("S0", "R0")
+    src1, sink1 = s.udp_flow("S1", "R1")
+    src0.start()
+    src1.start()
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        return {
+            "goodput_R0": sink0.goodput_mbps(duration_us),
+            "goodput_R1": sink1.goodput_mbps(duration_us),
+            "nav_detections": float(s.report.count("nav")),
+        }
+
+    return BuiltScenario(s, metrics)
+
+
+@_register(
+    "grc_spoof",
+    "GRC spoof-detection operating point: BER 2e-4, GR spoofs MAC ACKs, "
+    "RSSI spoof detection on the victim sender (Figure 22/24 regime)",
+    duration_s=2.0,
+)
+def _grc_spoof(seed: int) -> BuiltScenario:
+    """The detection-side companion of ``spoof_tcp``.
+
+    Same spoofing geometry and error rate, but the victim's sender runs the
+    RSSI spoof detector — the golden trace carries impersonated ACKs (for
+    the trace-level impersonation detector) and ``s.report`` the RSSI
+    detections.
+    """
+    s = Scenario(seed=seed)
+    s.add_wireless_node("S0", position=(0.0, 0.0))
+    s.add_wireless_node("S1", position=(0.5, 0.0))
+    s.add_wireless_node("R0", position=(10.0, 0.0))
+    s.add_wireless_node(
+        "R1",
+        position=(30.0, 0.0),
+        greedy=GreedyConfig.ack_spoofer(victims=frozenset({"R0"})),
+    )
+    set_ber_all_pairs(s.error_model, ["S0", "S1", "R0", "R1"], 2e-4)
+    s.enable_spoof_detection(["S0"])
+    snd0, rcv0 = s.tcp_flow("S0", "R0")
+    snd1, rcv1 = s.tcp_flow("S1", "R1")
+    snd0.start()
+    snd1.start()
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        return {
+            "goodput_R0": rcv0.goodput_mbps(duration_us),
+            "goodput_R1": rcv1.goodput_mbps(duration_us),
+            "spoof_detections": float(s.report.count("rssi-spoof")),
+        }
+
+    return BuiltScenario(s, metrics)
+
+
+@_register(
     "spoof_tcp",
     "two TCP pairs at BER 2e-4, GR spoofs MAC ACKs for NR (Figure 11 peak)",
     duration_s=2.0,

@@ -41,6 +41,26 @@ class TraceRecord:
         """Field dict, JSON-ready (what :meth:`FrameTracer.to_jsonl` writes)."""
         return dataclasses.asdict(self)
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceRecord":
+        """Inverse of :meth:`to_dict` — rebuilds a record from one JSONL row.
+
+        Round-trip is exact: ``TraceRecord.from_dict(r.to_dict()) == r`` for
+        every record, which is what lets the committed golden traces replay
+        through the streaming detection pipeline byte-for-byte.
+        """
+        return cls(
+            time_us=data["time_us"],
+            sender=data["sender"],
+            kind=data["kind"],
+            src=data["src"],
+            dst=data["dst"],
+            nav_us=data["nav_us"],
+            size_bytes=data["size_bytes"],
+            rate_mbps=data["rate_mbps"],
+            airtime_us=data["airtime_us"],
+        )
+
     def to_line(self) -> str:
         """One-line ns-2-style rendering of this record."""
         rate = f"{self.rate_mbps:g}M" if self.rate_mbps is not None else "-"
@@ -149,6 +169,23 @@ class FrameTracer:
                 handle.write(json.dumps(record.to_dict(), sort_keys=True))
                 handle.write("\n")
         return len(rows)
+
+
+def load_trace_jsonl(path: str | Path) -> list[TraceRecord]:
+    """Load a JSONL trace written by :meth:`FrameTracer.to_jsonl`.
+
+    This is how the committed ``tests/golden/*.jsonl`` traces re-enter the
+    analysis layer: detection diffing replays them through the offline and
+    streaming detectors without re-running the simulations that produced
+    them.  Blank lines are skipped so concatenated trace files load too.
+    """
+    records = []
+    with open(Path(path)) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(TraceRecord.from_dict(json.loads(line)))
+    return records
 
 
 class GoodputSeries:

@@ -1,0 +1,148 @@
+"""Direct unit coverage for the shared detection bookkeeping
+(repro.core.detection.report) and the operator-facing aggregation
+(repro.core.detection.monitor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection.monitor import MisbehaviorMonitor, OffenderVerdict
+from repro.core.detection.report import DetectionEvent, DetectionReport
+
+
+def _filled_report() -> DetectionReport:
+    report = DetectionReport()
+    report.record(10.0, "nav", "S1", "R1", "CTS NAV 31000us")
+    report.record(20.0, "nav", "R1", "R1")
+    report.record(30.0, "rssi-spoof", "S0", "R1", "ACK deviates 3 dB")
+    report.record(40.0, "nav", "S1", "R2")
+    return report
+
+
+# ---------------------------------------------------------------- report ----
+
+
+def test_empty_report_edge_cases():
+    report = DetectionReport()
+    assert not report
+    assert report.count() == 0
+    assert report.count("nav") == 0
+    assert report.count(offender="R1") == 0
+    assert report.offenders() == {}
+    assert report.offenders("nav") == {}
+
+
+def test_count_filters_by_detector_and_offender():
+    report = _filled_report()
+    assert report
+    assert report.count() == 4
+    assert report.count("nav") == 3
+    assert report.count("rssi-spoof") == 1
+    assert report.count("fake-ack") == 0
+    assert report.count(offender="R1") == 3
+    assert report.count("nav", offender="R1") == 2
+    assert report.count("nav", offender="R2") == 1
+
+
+def test_offenders_counter_per_detector():
+    report = _filled_report()
+    assert report.offenders() == {"R1": 3, "R2": 1}
+    assert report.offenders("nav") == {"R1": 2, "R2": 1}
+    assert report.offenders("rssi-spoof") == {"R1": 1}
+    assert report.offenders("nav").most_common(1) == [("R1", 2)]
+
+
+def test_record_respects_max_events():
+    report = DetectionReport(max_events=2)
+    for i in range(5):
+        report.record(float(i), "nav", "S", "R")
+    assert len(report.events) == 2
+    assert report.count("nav") == 2
+
+
+def test_events_are_frozen():
+    event = DetectionEvent(1.0, "nav", "S", "R", "detail")
+    with pytest.raises(AttributeError):
+        event.detector = "other"
+
+
+# --------------------------------------------------------------- monitor ----
+
+
+def test_monitor_on_empty_report():
+    monitor = MisbehaviorMonitor(DetectionReport())
+    assert monitor.verdicts() == []
+    assert monitor.to_text() == "no misbehavior detected\n"
+
+
+def test_monitor_threshold_validation():
+    with pytest.raises(ValueError, match="min_detections"):
+        MisbehaviorMonitor(DetectionReport(), min_detections=0)
+
+
+def test_monitor_min_detections_filters_sparse_offenders():
+    report = _filled_report()
+    monitor = MisbehaviorMonitor(report, min_detections=3)
+    verdicts = monitor.verdicts()
+    assert [v.offender for v in verdicts] == ["R1"]
+    v = verdicts[0]
+    assert v.total_detections == 3
+    assert v.by_detector == {"nav": 2, "rssi-spoof": 1}
+    assert v.observers == ("R1", "S0", "S1")
+    assert v.first_seen_us == 10.0 and v.last_seen_us == 30.0
+
+
+def test_monitor_ranks_by_detection_count():
+    report = DetectionReport()
+    for i in range(2):
+        report.record(float(i), "nav", "S0", "A")
+    for i in range(5):
+        report.record(float(i), "nav", "S0", "B")
+    monitor = MisbehaviorMonitor(report, min_detections=1)
+    assert [v.offender for v in monitor.verdicts()] == ["B", "A"]
+
+
+def test_monitor_min_rate_filters_slow_offenders():
+    report = DetectionReport()
+    # 3 detections over 2 simulated seconds: 1.5/s.
+    for t in (0.0, 1e6, 2e6):
+        report.record(t, "nav", "S", "slow")
+    monitor = MisbehaviorMonitor(report, min_detections=2, min_rate_per_s=10.0)
+    assert monitor.verdicts() == []
+    relaxed = MisbehaviorMonitor(report, min_detections=2, min_rate_per_s=1.0)
+    assert [v.offender for v in relaxed.verdicts()] == ["slow"]
+    assert relaxed.verdicts()[0].rate_per_s == pytest.approx(1.5)
+
+
+def test_corroboration_needs_observers_or_detectors():
+    single = OffenderVerdict("R", 3, {"nav": 3}, ("S1",), 0.0, 1.0, 3.0)
+    multi_obs = OffenderVerdict("R", 3, {"nav": 3}, ("S1", "S2"), 0.0, 1.0, 3.0)
+    multi_det = OffenderVerdict(
+        "R", 3, {"nav": 2, "rssi-spoof": 1}, ("S1",), 0.0, 1.0, 3.0
+    )
+    assert not single.corroborated
+    assert multi_obs.corroborated
+    assert multi_det.corroborated
+
+
+def test_monitor_text_rendering_mentions_corroboration():
+    monitor = MisbehaviorMonitor(_filled_report(), min_detections=3)
+    text = monitor.to_text()
+    assert "R1: 3 detections" in text
+    assert "[corroborated]" in text
+
+
+def test_monitor_over_streaming_pipeline_report():
+    """The monitor consumes a streaming pipeline's report unchanged."""
+    from repro.core.detection.streaming import default_pipeline
+    from repro.perf.golden import trace_filename
+    from repro.stats.trace import load_trace_jsonl
+    from pathlib import Path
+
+    records = load_trace_jsonl(
+        Path(__file__).parent / "golden" / trace_filename("grc_nav")
+    )
+    pipeline = default_pipeline()
+    pipeline.feed_many(records)
+    verdicts = MisbehaviorMonitor(pipeline.report).verdicts()
+    assert verdicts and verdicts[0].offender == "R1"
