@@ -46,6 +46,7 @@ ORDER = [
     "fig14", "fig23", "fig9", "fig10", "fig15", "fig16",
     "ext_autorate", "ext_sender_baseline",
     "ext_bursty_nav", "ext_jammer_crash", "ext_rts_roc",
+    "ext_hidden_node",
 ]
 
 

@@ -13,7 +13,7 @@ ACKs make the MAC loss rate look near-zero while probes keep dying —
 Run:  python examples/fake_ack_hidden_terminals.py
 """
 
-from repro import GreedyConfig, Scenario
+from repro import ChannelConfig, GreedyConfig, Scenario
 from repro.core.detection import FakeAckDetector, ProbeResponder, Prober
 
 DURATION_S = 3.0
@@ -21,7 +21,9 @@ US = 1_000_000.0
 
 
 def run(greedy: bool, seed: int = 11):
-    scenario = Scenario(seed=seed, rts_enabled=False, ranges=(55.0, 99.0))
+    scenario = Scenario(
+        seed=seed, rts_enabled=False, channel=ChannelConfig(ranges=(55.0, 99.0))
+    )
     scenario.add_wireless_node("AP-honest", position=(0.0, 0.0))
     scenario.add_wireless_node("AP-greedy", position=(108.0, 0.0))
     scenario.add_wireless_node("honest-client", position=(54.0, 1.0))

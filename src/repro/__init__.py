@@ -36,6 +36,7 @@ from repro.core.detection import DetectionReport
 from repro.experiments.common import RunSettings
 from repro.net.scenario import Scenario
 from repro.obs import MetricsRegistry, TelemetrySnapshot, capture
+from repro.phy.channel import ChannelConfig, use_channel
 from repro.phy.params import dot11a, dot11b
 from repro.phy.profiles import resolve_phy
 from repro.stats.summary import ExperimentResult
@@ -48,6 +49,8 @@ __all__ = [
     "GreedyReceiverPolicy",
     "DetectionReport",
     "Scenario",
+    "ChannelConfig",
+    "use_channel",
     "RunSettings",
     "ExperimentResult",
     "MetricsRegistry",

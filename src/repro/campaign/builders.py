@@ -472,6 +472,56 @@ def jammer_crash(
     )
 
 
+@register("hidden_node")
+def hidden_node(
+    seed: int,
+    duration_s: float,
+    rts: bool = False,
+    channel: str = "sinr",
+    phy: str | None = "dot11a",
+    packet_size: int = 1024,
+) -> dict[str, float]:
+    """Hidden-terminal triangle: two mutually-hidden saturated UDP uplinks to
+    one AP, judged by the named channel model ("sinr" or "pairwise").  The
+    RTS on/off axis is the classic collapse-and-recovery comparison."""
+    return _common.run_hidden_node(
+        seed,
+        duration_s,
+        rts=bool(rts),
+        channel=str(channel),
+        phy=phy,
+        packet_size=int(packet_size),
+    )
+
+
+@register("dense_hotspot_sinr")
+def dense_hotspot_sinr(
+    seed: int,
+    duration_s: float,
+    channel: str = "sinr",
+    cells: int = 24,
+    clients: int = 4,
+    spacing_m: float = 72.0,
+) -> dict[str, float]:
+    """Interference-coupled multi-AP hotspot grid on the SINR medium: cells
+    overlap so adjacent cells carrier-sense each other while distant cells
+    stay hidden, and aggregate cross-cell interference at each AP drives
+    the SINR/pairwise divergence.  Cell 0's AP inflates ACK NAVs (the
+    paper's no-RTS receiver misbehavior).  Same assembly as the
+    ``dense_hotspot_sinr`` perf scenario."""
+    from repro.perf.scenarios import build_dense_hotspot_sinr
+
+    built = build_dense_hotspot_sinr(
+        seed,
+        cells=int(cells),
+        clients=int(clients),
+        spacing_m=float(spacing_m),
+        channel=str(channel),
+    )
+    built.scenario.run(duration_s)
+    return built.metrics(duration_s * US_PER_S)
+
+
 @register("chaos_sleeper")
 def chaos_sleeper(
     seed: int,

@@ -187,6 +187,7 @@ def spec_from_dict(
     _validate_disjoint(params, sweep, zip_axes, where)
     _validate_against_builder(builder, [*params, *sweep, *zip_axes], where)
     _validate_phy_values(params, sweep, zip_axes, where)
+    _validate_channel_values(params, sweep, zip_axes, where)
 
     spec = CampaignSpec(
         name=name,
@@ -339,6 +340,35 @@ def _validate_phy_values(
         if not isinstance(value, str) or value not in known:
             raise SpecError(
                 f"{where}: unknown PHY profile {value!r}; known profiles: {known}"
+            )
+
+
+def _validate_channel_values(
+    params: Mapping[str, Any],
+    sweep: Mapping[str, Any],
+    zip_axes: Mapping[str, Any],
+    where: str,
+) -> None:
+    """``channel`` values must name a model in :mod:`repro.phy.channel`.
+
+    The same contract as :func:`_validate_phy_values`: specs carry the model
+    *name* ("pairwise" / "sinr"), checked against the registry
+    :func:`repro.phy.channel.resolve_channel` resolves from, so a typo fails
+    at spec-load time instead of deep inside a worker process.
+    """
+    from repro.phy.channel import channel_names
+
+    known = channel_names()
+    candidates: list[Any] = []
+    if "channel" in params:
+        candidates.append(params["channel"])
+    for axes in (sweep, zip_axes):
+        if "channel" in axes:
+            candidates.extend(axes["channel"])
+    for value in candidates:
+        if not isinstance(value, str) or value not in known:
+            raise SpecError(
+                f"{where}: unknown channel model {value!r}; known models: {known}"
             )
 
 

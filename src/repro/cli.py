@@ -60,7 +60,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    settings = RunSettings.for_mode(args.quick).replace(telemetry=args.telemetry)
+    settings = RunSettings.for_mode(args.quick).replace(
+        telemetry=args.telemetry, channel=args.channel
+    )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     with execution(jobs=args.jobs, cache=cache):
         result = entry.runner(settings)
@@ -260,8 +262,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
+    import contextlib
     import json as _json
 
+    from repro.phy.channel import use_channel
     from repro.sim.backend import BackendUnavailableError
     from repro.perf import (
         REGRESSION_FACTOR,
@@ -286,16 +290,20 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot load baseline: {exc}", file=sys.stderr)
             return 2
+    channel_ctx = (
+        use_channel(args.channel) if args.channel else contextlib.nullcontext()
+    )
     try:
-        bench = run_benchmark(
-            names=args.scenarios or None,
-            seed=args.seed,
-            repeats=args.repeats,
-            duration_s=args.duration,
-            progress=lambda message: print(message, file=sys.stderr),
-            telemetry=args.telemetry,
-            backend=args.backend,
-        )
+        with channel_ctx:
+            bench = run_benchmark(
+                names=args.scenarios or None,
+                seed=args.seed,
+                repeats=args.repeats,
+                duration_s=args.duration,
+                progress=lambda message: print(message, file=sys.stderr),
+                telemetry=args.telemetry,
+                backend=args.backend,
+            )
     except (KeyError, ValueError, BackendUnavailableError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
@@ -326,7 +334,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.perf.diff import diff_targets
+    from repro.phy.channel import use_channel
     from repro.sim.backend import BackendUnavailableError, backend_names
 
     if args.list_backends:
@@ -342,15 +353,19 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    channel_ctx = (
+        use_channel(args.channel) if args.channel else contextlib.nullcontext()
+    )
     try:
-        reports = diff_targets(
-            targets=args.targets or None,
-            backends=backends,
-            seed=args.seed,
-            duration_s=args.duration,
-            quick=not args.full,
-            progress=lambda message: print(message, file=sys.stderr),
-        )
+        with channel_ctx:
+            reports = diff_targets(
+                targets=args.targets or None,
+                backends=backends,
+                seed=args.seed,
+                duration_s=args.duration,
+                quick=not args.full,
+                progress=lambda message: print(message, file=sys.stderr),
+            )
     except (KeyError, ValueError, BackendUnavailableError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
@@ -830,6 +845,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse/store per-seed results under this directory "
         "(e.g. results/.cache)",
     )
+    p_run.add_argument(
+        "--channel",
+        default=None,
+        help="ambient channel model for every scenario the experiment builds "
+        "(pairwise or sinr; default: pairwise)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_campaign = sub.add_parser(
@@ -1132,6 +1153,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation backend to time (repro diff --list-backends; "
         "default: ambient, i.e. scalar)",
     )
+    p_perf.add_argument(
+        "--channel",
+        default=None,
+        help="ambient channel model for scenarios that do not pin one "
+        "(pairwise or sinr; default: pairwise)",
+    )
     p_perf.set_defaults(func=_cmd_perf)
 
     p_diff = sub.add_parser(
@@ -1170,6 +1197,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="run experiment targets at paper scale instead of quick mode",
+    )
+    p_diff.add_argument(
+        "--channel",
+        default=None,
+        help="ambient channel model for targets that do not pin one "
+        "(pairwise or sinr; default: pairwise)",
     )
     p_diff.set_defaults(func=_cmd_diff)
 

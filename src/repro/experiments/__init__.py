@@ -175,6 +175,10 @@ REGISTRY: dict[str, ExperimentEntry] = {
                "Streaming RTS-flood detector ROC (attack zoo, Section VII)",
                ("grc", "faults", "detection"), builder="rts_flood_roc",
                extension=True),
+        _entry("ext_hidden_node", "ext_hidden_node", "Extension",
+               "Hidden-terminal triangle on the SINR channel: RTS/CTS off vs on",
+               ("sinr", "udp", "channel"), builder="hidden_node",
+               extension=True),
     )
 }
 

@@ -17,6 +17,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.core.greedy import GreedyConfig
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
+from repro.phy.channel import ChannelConfig
 from repro.phy.error import set_ber_all_pairs
 from repro.phy.params import PhyParams, dot11b
 from repro.phy.profiles import PHY_PROFILES, profile_names, resolve_phy
@@ -39,6 +40,7 @@ __all__ = [
     "run_fake_hidden_terminals",
     "run_fake_inherent_loss",
     "run_grc_nav_distance",
+    "run_hidden_node",
 ]
 
 US_PER_S = 1_000_000.0
@@ -78,6 +80,12 @@ class RunSettings:
     #: Off by default: the tap only observes, but attaching it costs one
     #: record construction per transmission.
     streaming_detection: bool = False
+    #: Channel model name ("pairwise", "sinr") or None to inherit the ambient
+    #: selection (:func:`repro.phy.channel.use_channel`).  Ambient like the
+    #: backend: every scenario the experiment builds picks it up, and runners
+    #: that pin topology knobs via ``ChannelConfig(ranges=...)`` (model left
+    #: None) still honor it.
+    channel: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "quick"):
@@ -86,6 +94,14 @@ class RunSettings:
             from repro.sim.backend import resolve_backend
 
             resolve_backend(self.backend)  # fail fast on unknown/unavailable
+        if self.channel is not None:
+            from repro.phy.channel import CHANNEL_MODELS, channel_names
+
+            if self.channel not in CHANNEL_MODELS:
+                raise KeyError(
+                    f"unknown channel model {self.channel!r}; "
+                    f"known models: {channel_names()}"
+                )
         object.__setattr__(self, "seeds", tuple(self.seeds))
 
     @property
@@ -178,17 +194,25 @@ def experiment_api(
         result.streaming = session.summary()
         return result
 
+    def _ambient_body(resolved: RunSettings) -> ExperimentResult:
+        if resolved.channel is None:
+            return _body(resolved)
+        from repro.phy.channel import use_channel
+
+        with use_channel(resolved.channel):
+            return _body(resolved)
+
     @functools.wraps(fn)
     def run(
         settings: "RunSettings | bool | None" = None, quick: "bool | None" = None
     ) -> ExperimentResult:
         resolved = resolve_settings(settings, quick)
         if resolved.backend is None:
-            return _body(resolved)
+            return _ambient_body(resolved)
         from repro.sim.backend import use_backend
 
         with use_backend(resolved.backend):
-            return _body(resolved)
+            return _ambient_body(resolved)
 
     return run
 
@@ -449,7 +473,10 @@ def run_fake_hidden_terminals(
     """Figure 18 / Table IV: two hidden senders, receivers in between; each
     receiver fake-ACKs with its own greedy percentage (0 = honest)."""
     s = Scenario(
-        phy=resolve_phy(phy) or dot11b(), seed=seed, rts_enabled=False, ranges=(55.0, 99.0)
+        phy=resolve_phy(phy) or dot11b(),
+        seed=seed,
+        rts_enabled=False,
+        channel=ChannelConfig(ranges=(55.0, 99.0)),
     )
     s.add_wireless_node("S0", position=(0.0, 0.0))
     s.add_wireless_node("S1", position=(108.0, 0.0))
@@ -506,6 +533,60 @@ def run_fake_inherent_loss(
     return out
 
 
+# -------------------------------------------------------- hidden-node run --
+
+
+def run_hidden_node(
+    seed: int,
+    duration_s: float,
+    rts: bool = False,
+    channel: str | None = "sinr",
+    phy: PhyParams | str | None = "dot11a",
+    packet_size: int = 1024,
+) -> dict[str, float]:
+    """Classic hidden-terminal triangle: S0 and S1 flank one AP at 54 m each
+    (108 m apart — outside the 99 m interference range, so they cannot sense
+    each other), both uplinking saturated UDP.  Without RTS/CTS their data
+    frames overlap at the AP and the SINR margin corrupts both; with RTS/CTS
+    the AP's CTS sets the other sender's NAV and throughput recovers.
+
+    ``channel`` selects the interference model by name ("sinr" by default —
+    the scenario this model exists for; "pairwise" for comparison; None
+    inherits the ambient selection).  Plain string so campaign job specs
+    stay cache-addressable.  Defaults to 802.11a: its control frames fly at
+    6 Mbps, so the RTS/CTS handshake is cheap and the recovery is the
+    classic ~3-4x (802.11b's 1 Mbps control rate makes the handshake cost
+    about what the collisions do).
+    """
+    s = Scenario(
+        phy=resolve_phy(phy) or dot11b(),
+        seed=seed,
+        rts_enabled=rts,
+        channel=ChannelConfig(model=channel, ranges=(55.0, 99.0)),
+    )
+    s.add_wireless_node("S0", position=(0.0, 0.0))
+    s.add_wireless_node("AP", position=(54.0, 0.0))
+    s.add_wireless_node("S1", position=(108.0, 0.0))
+    sinks = []
+    for name in ("S0", "S1"):
+        src, sink = s.udp_flow(name, "AP", packet_size=packet_size)
+        src.start()
+        sinks.append(sink)
+    s.run(duration_s)
+    us = duration_s * US_PER_S
+    out: dict[str, float] = {}
+    total = 0.0
+    for name, sink in zip(("S0", "S1"), sinks):
+        goodput = sink.goodput_mbps(us)
+        out[f"goodput_{name}"] = goodput
+        total += goodput
+        stats = s.macs[name].stats
+        out[f"cw_{name}"] = stats.average_cw
+        out[f"rts_{name}"] = float(stats.tx_rts)
+    out["goodput_total"] = total
+    return out
+
+
 # ----------------------------------------------------------- GRC NAV runs --
 
 
@@ -526,7 +607,7 @@ def run_grc_nav_distance(
     s = Scenario(
         phy=resolve_phy(phy) or dot11b(),
         seed=seed,
-        ranges=(55.0, 99.0),
+        channel=ChannelConfig(ranges=(55.0, 99.0)),
     )
     d = pair_distance_m
     s.add_wireless_node("S1", position=(d, 0.0))

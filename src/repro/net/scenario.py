@@ -22,9 +22,11 @@ from repro.mac.policy import ReceiverPolicy
 from repro.net.node import Node
 from repro.net.wired import WiredLink
 from repro.obs import MetricsRegistry, current_registry, sweep_scenario
+from repro.phy.channel import ChannelConfig, resolve_channel
 from repro.phy.error import BitErrorModel
-from repro.phy.medium import Medium, VectorizedMedium
+from repro.phy.medium import Medium, SinrMedium, VectorizedMedium, VectorizedSinrMedium
 from repro.phy.params import PhyParams, dot11b
+from repro.phy.propagation import PathLossModel
 from repro.sim.backend import SimBackend, resolve_backend
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -55,42 +57,73 @@ class Scenario:
         rssi_jitter_db: float = 0.0,
         telemetry: "MetricsRegistry | bool | None" = None,
         backend: "SimBackend | str | None" = None,
+        channel: "ChannelConfig | str | None" = None,
     ) -> None:
         self.phy = phy if phy is not None else dot11b()
         self.sim = Simulator()
         self.streams = RngStreams(seed)
         self.rts_enabled = rts_enabled
-        self.error_model = BitErrorModel(default_ber=default_ber)
         #: Resolved simulation backend.  ``None`` inherits the ambient
         #: selection (:func:`repro.sim.backend.use_backend`), so experiment
         #: runners and campaign builders pick up ``--backend`` without
         #: signature changes; an explicit name/``SimBackend`` overrides.
         self.backend: SimBackend = resolve_backend(backend)
-        jitter = None
-        if rssi_jitter_db > 0:
-            sigma = rssi_jitter_db
-            jitter = lambda rng: rng.gauss(0.0, sigma)  # noqa: E731
-        if self.backend.vector_phy:
-            self.medium = VectorizedMedium(
-                self.sim,
-                self.phy,
-                self.streams.stream("phy.medium"),
-                error_model=self.error_model,
-                capture_enabled=capture_enabled,
-                rssi_jitter=jitter,
-                rng_block=self.backend.rng_block,
-            )
-        else:
-            self.medium = Medium(
-                self.sim,
-                self.phy,
-                self.streams.stream("phy.medium"),
-                error_model=self.error_model,
-                capture_enabled=capture_enabled,
-                rssi_jitter=jitter,
-            )
+        #: Resolved channel configuration.  ``None`` inherits the ambient
+        #: selection (:func:`repro.phy.channel.use_channel`); an explicit
+        #: :class:`~repro.phy.channel.ChannelConfig` or model name overrides.
+        #: The legacy ``ranges=`` / ``default_ber=`` / ``rssi_jitter_db=``
+        #: kwargs are a deprecated shim mapped onto an equivalent config.
+        cfg = resolve_channel(channel)
+        legacy: dict[str, Any] = {}
         if ranges is not None:
-            self.medium.configure_ranges(*ranges)
+            legacy["ranges"] = (float(ranges[0]), float(ranges[1]))
+        if default_ber != 0.0:
+            legacy["default_ber"] = default_ber
+        if rssi_jitter_db != 0.0:
+            legacy["rssi_jitter_db"] = rssi_jitter_db
+        if legacy:
+            if channel is not None:
+                raise TypeError(
+                    "pass channel=ChannelConfig(...) or the deprecated "
+                    f"{sorted(legacy)} kwargs, not both"
+                )
+            import warnings
+            from dataclasses import replace as _replace
+
+            warnings.warn(
+                f"Scenario({', '.join(sorted(legacy))}=...) is deprecated; "
+                "pass channel=ChannelConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cfg = _replace(cfg, **legacy)
+        self.channel: ChannelConfig = cfg
+        self.error_model = BitErrorModel(default_ber=cfg.default_ber)
+        medium_class = {
+            ("pairwise", False): Medium,
+            ("pairwise", True): VectorizedMedium,
+            ("sinr", False): SinrMedium,
+            ("sinr", True): VectorizedSinrMedium,
+        }[(cfg.model, self.backend.vector_phy)]
+        medium_kwargs: dict[str, Any] = dict(
+            error_model=self.error_model,
+            pathloss=PathLossModel(exponent=cfg.path_loss_exponent),
+            capture_enabled=capture_enabled,
+            rssi_jitter=cfg.jitter(),
+        )
+        if cfg.model == "sinr":
+            medium_kwargs["noise_floor"] = cfg.noise_floor
+            medium_kwargs["capture_margin"] = cfg.capture_margin
+        if self.backend.vector_phy:
+            medium_kwargs["rng_block"] = self.backend.rng_block
+        self.medium = medium_class(
+            self.sim,
+            self.phy,
+            self.streams.stream("phy.medium"),
+            **medium_kwargs,
+        )
+        if cfg.ranges is not None:
+            self.medium.configure_ranges(*cfg.ranges)
         self.nodes: dict[str, Node] = {}
         self.macs: dict[str, DcfMac] = {}
         self.policies: dict[str, ReceiverPolicy] = {}
@@ -155,9 +188,8 @@ class Scenario:
             # Scenarios that rely on capture or ranges set positions
             # explicitly.
             position = (0.0, 0.0)
-        from repro.phy.medium import Radio  # local import avoids cycle at import time
-
-        radio = Radio(self.medium, name, position)
+        # The medium decides the radio flavor (pairwise Radio vs SinrRadio).
+        radio = self.medium.radio_class(self.medium, name, position)
         if greedy is not None:
             policy: ReceiverPolicy = GreedyReceiverPolicy(
                 greedy, self.streams.stream(f"greedy.{name}")

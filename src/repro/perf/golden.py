@@ -41,6 +41,12 @@ GOLDEN_TRACE_RUNS: dict[str, tuple[int, float]] = {
     # gate): dense NAV inflation and ACK spoofing under active detectors.
     "grc_nav": (1, 0.25),
     "grc_spoof": (2, 0.25),
+    # SINR channel-model golden set (DESIGN.md §15): these scenarios pin
+    # ``ChannelConfig(model="sinr")`` explicitly, so the committed traces
+    # cover the aggregate-interference decision path on both backends.  The
+    # dense grid runs 20 ms — 120 stations make even that ~400 records.
+    "hidden_node_sinr": (1, 0.25),
+    "dense_hotspot_sinr": (1, 0.02),
 }
 
 

@@ -29,7 +29,9 @@ from typing import Callable, Dict
 from repro.core.greedy import GreedyConfig
 from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
+from repro.phy.channel import ChannelConfig
 from repro.phy.error import set_ber_all_pairs
+from repro.phy.params import dot11a
 
 US_PER_S = 1_000_000.0
 
@@ -158,7 +160,11 @@ def _dense_hotspot(seed: int) -> BuiltScenario:
     the greedy machinery on the timed path.
     """
     cells, clients, spacing = 48, 4, 250.0
-    s = Scenario(seed=seed, ranges=(55.0, 99.0), rts_enabled=False)
+    s = Scenario(
+        seed=seed,
+        channel=ChannelConfig(ranges=(55.0, 99.0)),
+        rts_enabled=False,
+    )
     sinks = []
     side = math.ceil(math.sqrt(cells))
     for c in range(cells):
@@ -194,6 +200,121 @@ def _dense_hotspot(seed: int) -> BuiltScenario:
 
 
 @_register(
+    "hidden_node_sinr",
+    "hidden-terminal triangle on the SINR medium (802.11a, RTS off) — "
+    "aggregate-interference corruption at the AP",
+    duration_s=1.0,
+)
+def _hidden_node_sinr(seed: int) -> BuiltScenario:
+    """The channel-model seam's signature workload, pinned for golden traces.
+
+    S0 and S1 flank one AP at 54 m each, 108 m apart — outside the 99 m
+    interference range, so neither sender can carrier-sense the other.  On
+    the pairwise medium each uplink frame is judged by a two-signal power
+    ratio; on the ``sinr`` medium the AP accumulates interference power from
+    *all* concurrent transmissions, so the overlapping data frames corrupt
+    each other exactly as hidden terminals do in a real hotspot.  The model
+    is pinned explicitly (not inherited from the ambient selection) so the
+    committed golden trace means the same thing under any ``--channel``.
+    """
+    s = Scenario(
+        phy=dot11a(),
+        seed=seed,
+        rts_enabled=False,
+        channel=ChannelConfig(model="sinr", ranges=(55.0, 99.0)),
+    )
+    s.add_wireless_node("S0", position=(0.0, 0.0))
+    s.add_wireless_node("AP", position=(54.0, 0.0))
+    s.add_wireless_node("S1", position=(108.0, 0.0))
+    src0, sink0 = s.udp_flow("S0", "AP")
+    src1, sink1 = s.udp_flow("S1", "AP")
+    src0.start()
+    src1.start()
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        return {
+            "goodput_S0": sink0.goodput_mbps(duration_us),
+            "goodput_S1": sink1.goodput_mbps(duration_us),
+        }
+
+    return BuiltScenario(s, metrics)
+
+
+def build_dense_hotspot_sinr(
+    seed: int,
+    cells: int = 24,
+    clients: int = 4,
+    spacing_m: float = 72.0,
+    channel: str | None = "sinr",
+) -> BuiltScenario:
+    """Assemble the coupled multi-AP hotspot grid on the SINR medium.
+
+    Unlike ``dense_hotspot`` (250 m spacing — cells are isolated and the
+    scenario stresses reach-list *size*), the 72 m spacing here overlaps the
+    cells: adjacent cells carrier-sense each other while diagonal and more
+    distant cells (>= 101 m) stay mutually hidden, so uplink frames arrive
+    at each AP with live interference from transmitters one to two cells
+    away.  Those interferers sit in the band where a single pairwise power
+    ratio still clears the 10x capture threshold but the *aggregate*
+    interference sum does not clear the per-rate SINR margin — the regime
+    where the two channel models genuinely diverge (measurably different
+    per-cell goodput for equal seeds).  Cell 0's AP keeps the paper's ACK
+    NAV inflation so greedy-receiver machinery stays on the timed path.
+
+    Shared by the ``dense_hotspot_sinr`` perf scenario and the campaign
+    builder of the same name; ``channel`` is a plain model name so campaign
+    job specs stay cache-addressable.
+    """
+    s = Scenario(
+        seed=seed,
+        rts_enabled=False,
+        channel=ChannelConfig(model=channel, ranges=(55.0, 99.0)),
+    )
+    sinks = []
+    side = math.ceil(math.sqrt(cells))
+    for c in range(cells):
+        cx, cy = (c % side) * spacing_m, (c // side) * spacing_m
+        ap = f"AP{c}"
+        greedy = None
+        if c == 0:
+            greedy = GreedyConfig.nav_inflator(600.0, frozenset({FrameKind.ACK}))
+        s.add_wireless_node(ap, position=(cx, cy), greedy=greedy)
+        for k in range(clients):
+            angle = 2.0 * math.pi * k / clients
+            name = f"C{c}_{k}"
+            s.add_wireless_node(
+                name,
+                position=(
+                    cx + 12.0 * math.cos(angle),
+                    cy + 12.0 * math.sin(angle),
+                ),
+            )
+            src, sink = s.udp_flow(name, ap, rate_bps=1.2e6, packet_size=400)
+            src.start()
+            sinks.append(sink)
+
+    def metrics(duration_us: float) -> Dict[str, float]:
+        goodputs = [sink.goodput_mbps(duration_us) for sink in sinks]
+        return {
+            "goodput_total": sum(goodputs),
+            "goodput_cell0": sum(goodputs[:clients]),
+            "goodput_min": min(goodputs),
+        }
+
+    return BuiltScenario(s, metrics)
+
+
+@_register(
+    "dense_hotspot_sinr",
+    "24 overlapping hotspot cells (120 nodes) on the SINR medium — "
+    "cross-cell aggregate interference at every AP",
+    duration_s=0.5,
+)
+def _dense_hotspot_sinr(seed: int) -> BuiltScenario:
+    return build_dense_hotspot_sinr(seed)
+
+
+@_register(
     "grc_nav",
     "GRC NAV-validation operating point: GR inflates CTS NAV by 31 ms, "
     "honest pair runs the Section VII-A validator (Figure 21/23 regime)",
@@ -209,7 +330,7 @@ def _grc_nav(seed: int) -> BuiltScenario:
     trace-level detectors, and ``s.report`` carries the MAC-level
     detections the paper's countermeasure produces.
     """
-    s = Scenario(seed=seed, ranges=(55.0, 99.0))
+    s = Scenario(seed=seed, channel=ChannelConfig(ranges=(55.0, 99.0)))
     s.add_wireless_node("S0", position=(0.0, 0.0))
     s.add_wireless_node("R0", position=(50.0, 0.0))
     s.add_wireless_node("S1", position=(0.0, 5.0))

@@ -173,6 +173,10 @@ class Radio:
 class Medium:
     """The shared broadcast channel."""
 
+    #: Radio flavor attached by :meth:`repro.net.scenario.Scenario.add_wireless_node`
+    #: — SINR media override this with :class:`SinrRadio`.
+    radio_class: type[Radio] = Radio
+
     def __init__(
         self,
         sim: Simulator,
@@ -480,3 +484,148 @@ class VectorizedMedium(Medium):
             rssi_db += self.rssi_jitter(self.rng)
         if receiver.mac is not None:
             receiver.mac.phy_receive(frame, corrupted, addr_ok, rssi_db)
+
+
+class SinrRadio(Radio):
+    """Radio whose reception decisions come from an SINR margin.
+
+    Tracks the received power of every audible concurrent transmission
+    (``_rss``, insertion-ordered alongside ``_energy``) and re-evaluates the
+    locked frame's signal-to-interference-plus-noise ratio whenever an
+    overlapping transmission *starts*.  Interference only ever increases at
+    a start and decreases at an end, and a radio cannot re-synchronize
+    mid-frame, so a frame that clears its margin at every overlap start has
+    held it for its whole airtime — no check is needed at transmission end,
+    and the ``collided`` flag stays sticky exactly as in the pairwise model.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        # Power of every audible in-flight transmission, in arrival order.
+        # Plain insertion-ordered dict: the deterministic left-to-right
+        # interference sum must be identical across backends, which holds
+        # because both schedule ``_on_tx_start`` in reach-list order.
+        self._rss: dict[_Transmission, float] = {}
+        super().__init__(*args, **kwargs)
+
+    def _on_tx_start(self, tx: _Transmission, rss: float, decodable: bool) -> None:
+        was_busy = self.transmitting or bool(self._energy)
+        self._energy.add(tx)
+        self._rss[tx] = rss
+        if not self.transmitting:
+            medium = self.medium
+            lock = self._lock
+            if lock is None:
+                if decodable and medium._sinr_ok(self, tx, rss):
+                    self._lock = _Lock(tx, rss)
+            elif lock.collided or not medium._sinr_ok(self, lock.tx, lock.rss):
+                # The locked frame is doomed (already garbled, or the
+                # newcomer pushed it below its margin).  The newcomer takes
+                # the receiver only if it clears its own margin *including*
+                # the doomed frame's power — SINR capture.
+                if decodable and medium._sinr_ok(self, tx, rss):
+                    self._lock = _Lock(tx, rss)
+                elif not lock.collided:
+                    lock.collided = True
+        # Inline notify, as in the base class: energy was just added.
+        if not was_busy and self.mac is not None:
+            self.mac.phy_busy()
+
+    def _on_tx_end(self, tx: _Transmission, rss: float) -> None:
+        was_busy = self.transmitting or bool(self._energy)
+        self._energy.discard(tx)
+        self._rss.pop(tx, None)
+        lock = self._lock
+        if lock is not None and lock.tx is tx:
+            self._lock = None
+            self.medium._deliver(tx, self, lock)
+        now_busy = self.transmitting or bool(self._energy)
+        if was_busy != now_busy and self.mac is not None:
+            if now_busy:
+                self.mac.phy_busy()
+            else:
+                self.mac.phy_idle()
+
+
+class _SinrMixin:
+    """SINR decision logic shared by the scalar and vectorized media.
+
+    Reception is gated on ``rss >= threshold * (noise_floor + interference)``
+    where *interference* is the summed power of every other audible
+    transmission at the receiver, and *threshold* is the PHY's per-rate
+    margin (:meth:`repro.phy.params.PhyParams.sinr_threshold`).  The
+    pairwise ``capture_enabled`` flag is unused here — capture is what the
+    SINR comparison itself decides.  Transmissions below the carrier-sense
+    threshold are never scheduled at a receiver (same pruning as the
+    pairwise model), so they do not contribute interference; the cs
+    threshold is the model's interference-accounting floor.
+    """
+
+    radio_class = SinrRadio
+
+    def __init__(
+        self,
+        *args: Any,
+        noise_floor: float = 1e-10,
+        capture_margin: float | None = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        #: Linear noise power added to the interference sum.
+        self.noise_floor = float(noise_floor)
+        #: Base SINR margin; None falls back to ``phy.capture_threshold``.
+        self.capture_margin = capture_margin
+        # rate -> threshold, resolved once per distinct rate seen.
+        self._sinr_thresholds: dict[float, float] = {}
+
+    def _sinr_threshold_for(self, frame: Any) -> float:
+        # Control frames fly at the basic rate (their airtime already does);
+        # data frames use their explicit rate or the PHY default.
+        if frame.kind.name == "DATA":
+            rate = getattr(frame, "rate", None)
+            if rate is None:
+                rate = self.phy.data_rate
+        else:
+            rate = self.phy.basic_rate
+        threshold = self._sinr_thresholds.get(rate)
+        if threshold is None:
+            threshold = self._sinr_thresholds[rate] = self.phy.sinr_threshold(
+                rate, self.capture_margin
+            )
+        return threshold
+
+    def _sinr_ok(self, radio: SinrRadio, tx: _Transmission, rss: float) -> bool:
+        """Does ``tx`` clear its SINR margin at ``radio`` right now?
+
+        The multiply form avoids a division, and the left-to-right python
+        sum over the insertion-ordered ``_rss`` dict is deterministic and
+        backend-identical (:func:`repro.phy.vectorized.sinr_array` is the
+        batch analysis twin, pinned element-exact in tests).
+        """
+        interference = 0.0
+        for other, power in radio._rss.items():
+            if other is not tx:
+                interference += power
+        return rss >= self._sinr_threshold_for(tx.frame) * (
+            self.noise_floor + interference
+        )
+
+
+class SinrMedium(_SinrMixin, Medium):
+    """:class:`Medium` with SINR-based reception (``channel model "sinr"``).
+
+    Carrier sense, corruption/FER rolls, address survival, fault hooks and
+    delivery are all inherited unchanged — the model only replaces *which
+    overlaps corrupt or capture*, via :class:`SinrRadio`.  Golden traces for
+    this model live in their own committed set (the pairwise set stays the
+    reference; DESIGN.md §15).
+    """
+
+
+class VectorizedSinrMedium(_SinrMixin, VectorizedMedium):
+    """:class:`VectorizedMedium` with SINR-based reception.
+
+    Bit-identical to :class:`SinrMedium` — the hearer tables preserve
+    reach-list order, so ``_on_tx_start`` arrival order (and with it the
+    interference-sum order) matches the scalar medium exactly; the
+    cross-backend differential harness enforces it on the SINR golden set.
+    """

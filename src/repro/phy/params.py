@@ -102,6 +102,27 @@ class PhyParams:
             )
         return value
 
+    def sinr_threshold(self, rate: float | None = None, margin: float | None = None) -> float:
+        """Minimum SINR (linear) to decode a frame sent at ``rate`` Mbps.
+
+        ``margin`` defaults to :attr:`capture_threshold`, so the pairwise
+        capture knob and the SINR margin agree at the basic rate; faster
+        rates scale the requirement linearly with spectral efficiency
+        (``rate / basic_rate``), never below the base margin.  Memoized per
+        ``(rate, margin)`` like :meth:`airtime`.
+        """
+        table = self.__dict__.get("_sinr_table")
+        if table is None:
+            table = {}
+            self.__dict__["_sinr_table"] = table
+        key = (rate, margin)
+        value = table.get(key)
+        if value is None:
+            base = margin if margin is not None else self.capture_threshold
+            r = rate if rate is not None else self.data_rate
+            value = table[key] = base * max(1.0, r / self.basic_rate)
+        return value
+
     @cached_property
     def rts_time(self) -> float:
         """Airtime of an RTS frame at the basic rate."""

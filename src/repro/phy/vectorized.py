@@ -104,6 +104,28 @@ def fer_array(
     return table[inverse.reshape(ber_b.shape)]
 
 
+def sinr_array(
+    rss: "float | Sequence[float] | numpy.ndarray",
+    interference: "float | Sequence[float] | numpy.ndarray",
+    noise_floor: float,
+) -> "numpy.ndarray":
+    """Signal-to-interference-plus-noise ratio over arrays (bit-exact).
+
+    ``rss / (noise_floor + interference)`` with broadcasting — addition and
+    division are IEEE-exact, so every element equals the scalar python
+    expression bit-for-bit (unlike ``np.power``; see the module docstring).
+    The simulation's own decision uses the equivalent multiply form
+    ``rss >= threshold * (noise_floor + interference)`` on both backends
+    (shared code in :class:`repro.phy.medium._SinrMixin`); this kernel is
+    the batch twin for analysis and property tests.
+    """
+    import numpy as np
+
+    rss_a = np.asarray(rss, dtype=np.float64)
+    interference_a = np.asarray(interference, dtype=np.float64)
+    return rss_a / (noise_floor + interference_a)
+
+
 def hearer_table(
     entries: "Sequence[tuple[Any, float, float]]",
     cs_threshold: float,
@@ -134,4 +156,10 @@ def hearer_table(
     ]
 
 
-__all__ = ["airtime_array", "fer_array", "hearer_table", "phy_airtime_array"]
+__all__ = [
+    "airtime_array",
+    "fer_array",
+    "hearer_table",
+    "phy_airtime_array",
+    "sinr_array",
+]

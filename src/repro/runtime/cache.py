@@ -53,7 +53,7 @@ LOCKS_DIRNAME = "locks"
 #: whenever results must be recomputed for a reason the source digest cannot
 #: see — e.g. the simulation-core fast path, which is bit-exact for equal
 #: seeds but changed which module computes each cached quantity.
-CODE_VERSION_SALT = "backend-vectorized-2"
+CODE_VERSION_SALT = "channel-sinr-3"
 
 
 @lru_cache(maxsize=1)
@@ -82,20 +82,25 @@ def code_version_token() -> str:
     ``CODE_VERSION_SALT`` is folded in first, so an epoch bump invalidates
     every entry even with identical sources.
 
-    The ambient simulation backend's ``cache_key`` is folded in last: a
-    backend that is bit-exact against the reference contributes an empty key
-    (equal seeds produce equal floats, so scalar and vectorized runs share
-    entries interchangeably), while a backend that registered its own golden
-    set gets its own cache namespace — per the equivalence contract in
-    :mod:`repro.sim.backend`, it may never serve reference-keyed results.
+    The ambient simulation backend's and channel model's ``cache_key`` values
+    are folded in last: a backend that is bit-exact against the reference (and
+    the reference ``pairwise`` channel) contributes an empty key, so scalar
+    and vectorized pairwise runs share entries interchangeably, while a
+    backend with its own golden set — or a channel model with different
+    interference semantics, like ``sinr`` — gets its own cache namespace.
+    Per the equivalence contracts in :mod:`repro.sim.backend` and
+    :mod:`repro.phy.channel`, results computed under different semantics may
+    never be served interchangeably.
     """
+    from repro.phy.channel import current_channel
     from repro.sim.backend import current_backend
 
     token = _source_token()
-    backend_key = current_backend().cache_key
-    if not backend_key:
+    keys = [current_backend().cache_key, current_channel().cache_key]
+    extra = ":".join(k for k in keys if k)
+    if not extra:
         return token
-    digest = hashlib.sha256(f"{token}:{backend_key}".encode())
+    digest = hashlib.sha256(f"{token}:{extra}".encode())
     return digest.hexdigest()[:16]
 
 

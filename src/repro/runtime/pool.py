@@ -95,9 +95,40 @@ def execution(
         _context = previous
 
 
-def execute_job(spec: JobSpec) -> dict[str, float]:
-    """Worker entry point: run one seeded job (module-level, picklable)."""
-    return spec.run()
+def _ambient_selection() -> tuple | None:
+    """Snapshot the ambient backend/channel for shipping to a worker.
+
+    ContextVars do not cross process boundaries: without this, a campaign
+    running under ``use_channel("sinr")`` (or a non-reference backend) with
+    ``--jobs N`` would silently compute pairwise results in the workers
+    while the parent caches them under the sinr namespace.  Returns None
+    when both selections are the defaults, keeping the common submit
+    payload unchanged.
+    """
+    from repro.phy.channel import DEFAULT_CHANNEL, current_channel
+    from repro.sim.backend import current_backend
+
+    backend = current_backend()
+    channel = current_channel()
+    if backend.is_reference and channel == DEFAULT_CHANNEL:
+        return None
+    return (backend.name, channel)
+
+
+def execute_job(spec: JobSpec, ambient: tuple | None = None) -> dict[str, float]:
+    """Worker entry point: run one seeded job (module-level, picklable).
+
+    ``ambient`` re-establishes the submitting process's backend/channel
+    selection (:func:`_ambient_selection`) inside the worker.
+    """
+    if ambient is None:
+        return spec.run()
+    from repro.phy.channel import use_channel
+    from repro.sim.backend import use_backend
+
+    backend_name, channel = ambient
+    with use_backend(backend_name), use_channel(channel):
+        return spec.run()
 
 
 def _collect(futures: dict[Future, int], results: dict[int, dict[str, float]]) -> None:
@@ -287,7 +318,9 @@ class WorkerPool:
                     backoff_pending = True
                     continue
                 try:
-                    st.future = executor.submit(execute_job, st.spec)
+                    st.future = executor.submit(
+                        execute_job, st.spec, _ambient_selection()
+                    )
                 except (BrokenExecutor, RuntimeError):
                     self._on_pool_break(states, inflight, report)
                     broke = True
@@ -533,8 +566,10 @@ def map_over_seeds(
         try:
             if pending:
                 if executor is not None:
+                    ambient = _ambient_selection()
                     futures = {
-                        executor.submit(execute_job, specs[s]): s for s in pending
+                        executor.submit(execute_job, specs[s], ambient): s
+                        for s in pending
                     }
                     _collect(futures, results)
                     if cache is not None:

@@ -32,6 +32,7 @@ from repro.mac.frames import FrameKind
 from repro.net.scenario import Scenario
 from repro.perf.diff import BackendRun, diff_backend_runs, diff_scenario
 from repro.perf.scenarios import scenario_names
+from repro.phy.channel import ChannelConfig
 from repro.phy.error import set_ber_all_pairs
 from repro.sim.backend import numpy_available, use_backend
 from repro.stats.trace import FrameTracer
@@ -60,7 +61,7 @@ def _build_case(case_seed: int) -> Scenario:
     s = Scenario(
         seed=1000 + case_seed,
         rts_enabled=rts,
-        ranges=(55.0, 99.0) if ranged else None,
+        channel=ChannelConfig(ranges=(55.0, 99.0)) if ranged else None,
     )
     greedy_kind = pick.choice(["none", "nav", "spoof", "fake"])
     positions = {}

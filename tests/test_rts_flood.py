@@ -9,11 +9,12 @@ import pytest
 from repro.experiments.ext_rts_roc import run_rts_flood_roc
 from repro.faults import FaultPlan, RtsFloodConfig
 from repro.net.scenario import Scenario
+from repro.phy.channel import ChannelConfig
 from repro.stats.trace import FrameTracer
 
 
 def _flooded_scenario(seed=3, jitter_us=0.0):
-    s = Scenario(seed=seed, ranges=(55.0, 99.0))
+    s = Scenario(seed=seed, channel=ChannelConfig(ranges=(55.0, 99.0)))
     s.add_wireless_node("S1", (0.0, 0.0))
     s.add_wireless_node("R1", (5.0, 0.0))
     tracer = FrameTracer(s.medium)
@@ -62,7 +63,7 @@ def test_flood_plan_is_not_empty_and_counts_frames():
 
 def test_flood_reserves_the_channel():
     """The DoS itself: honest traffic collapses once the flood starts."""
-    clean = Scenario(seed=3, ranges=(55.0, 99.0))
+    clean = Scenario(seed=3, channel=ChannelConfig(ranges=(55.0, 99.0)))
     clean.add_wireless_node("S1", (0.0, 0.0))
     clean.add_wireless_node("R1", (5.0, 0.0))
     src, sink_clean = clean.udp_flow("S1", "R1")
