@@ -35,6 +35,11 @@ from repro.runtime.io import atomic_write_text
 MANIFEST_VERSION = 1
 
 PENDING = "pending"
+#: The runner has dispatched this point's seeds and not yet recorded an
+#: outcome.  On disk this is a *liveness* signal: a resumed run treats it
+#: exactly like pending (the interrupted attempt is re-run), but a status
+#: poll can now distinguish "in flight right now" from "still queued".
+RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 
@@ -113,6 +118,7 @@ class Manifest:
             "total": self.total,
             "done": self.count(DONE),
             "failed": self.count(FAILED),
+            "running": self.count(RUNNING),
             "pending": self.count(PENDING),
             "complete": self.complete,
             "retries": sum(point.retries for point in self.points),

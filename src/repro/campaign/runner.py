@@ -30,6 +30,7 @@ from repro.campaign.builders import get_builder
 from repro.campaign.manifest import (
     DONE,
     FAILED,
+    RUNNING,
     Manifest,
     PointState,
     atomic_write_text,
@@ -245,6 +246,12 @@ def run_campaign(
                 skipped += 1
                 say(f"{label} already done, skipped")
                 continue
+            # Mark the point in flight before dispatching, so status polls
+            # (and post-crash manifests) can tell "being computed" from
+            # "still queued".  A crash leaves it "running", which a resume
+            # treats exactly like pending.
+            point.status = RUNNING
+            manifest.save(manifest_path(out))
             job = seed_job(builder, duration_s=spec.duration_s, **point.params)
             report = ExecutionReport()
             try:

@@ -675,7 +675,39 @@ def _cmd_fleet_worker(args: argparse.Namespace) -> int:
 def _cmd_fleet_status(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.fleet import FleetError, fleet_status_document
+    from repro.fleet import FleetClientError, FleetError, fleet_status_document, get_json
+
+    if not args.url and not args.target:
+        print("fleet status needs an output directory or --url", file=sys.stderr)
+        return 2
+    if args.url:
+        # Service-level status: queue depth, job-state counts, journal lag.
+        try:
+            doc = get_json(args.url, "/status")
+        except FleetClientError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            jobs = doc["jobs"]
+            states = ", ".join(
+                f"{key} {value}" for key, value in sorted(jobs.items()) if key != "total"
+            )
+            print(
+                f"fleet service at {args.url}: {jobs['total']} job(s)"
+                + (f" ({states})" if states else "")
+            )
+            print(
+                f"  queue: {doc['queue_depth']}/{doc['max_queue']} waiting, "
+                f"{doc['running']}/{doc['max_running']} running"
+                + ("  [draining]" if doc["draining"] else "")
+            )
+            print(
+                f"  journal: seq {doc['journal']['seq']}, "
+                f"lag {doc['journal']['lag']} line(s) since last snapshot"
+            )
+        return 0
 
     try:
         doc = fleet_status_document(args.target)
@@ -706,6 +738,7 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
 
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.fleet import FleetService
 
@@ -714,13 +747,41 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         jobs=args.jobs,
         max_parallel_shards=args.max_parallel_shards,
+        max_running=args.max_running,
+        max_queue=args.max_queue,
     )
 
     async def _serve() -> None:
         await service.start(host=args.host, port=args.port)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX loop; Ctrl-C still lands as KeyboardInterrupt
+        recovered = service.status_document()["recovered"]
         print(f"fleet service listening on http://{args.host}:{service.port}")
         print(f"  jobs root: {service.root}  executor: {args.executor}")
-        await service.serve_forever()
+        print(
+            f"  queue: max {args.max_queue} waiting, {args.max_running} running; "
+            f"journal recovery: {recovered.get('restored', 0)} restored, "
+            f"{recovered.get('requeued', 0)} requeued, "
+            f"{recovered.get('failed', 0)} fence-failed"
+        )
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        done, _ = await asyncio.wait(
+            (serve_task, stop_task), return_when=asyncio.FIRST_COMPLETED
+        )
+        stop_task.cancel()
+        if serve_task in done and serve_task.exception() is not None:
+            raise serve_task.exception()  # e.g. the listening socket died
+        serve_task.cancel()
+        # Graceful drain: refuse new submits, journal `interrupted` for
+        # in-flight jobs, kill their shard workers, snapshot the journal.
+        print("fleet service shutting down (draining; jobs journaled)")
+        await service.shutdown()
 
     try:
         asyncio.run(_serve())
@@ -732,7 +793,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
 def _cmd_fleet_submit(args: argparse.Namespace) -> int:
     from repro.campaign import SpecError
     from repro.campaign.spec import load_spec, spec_to_dict
-    from repro.fleet import FleetClientError, fetch_results, poll_job, submit_job
+    from repro.fleet import FleetClientError, fetch_results, submit_job, wait_for_job
 
     try:
         spec = load_spec(args.spec, quick=args.quick)
@@ -743,6 +804,7 @@ def _cmd_fleet_submit(args: argparse.Namespace) -> int:
         "spec": spec_to_dict(spec),
         "n_shards": args.shards,
         "jobs": args.jobs,
+        "priority": args.priority,
         # The spec is already resolved locally, so quick is not re-applied
         # server-side; the document carries the quick-resolved grid itself.
     }
@@ -751,7 +813,7 @@ def _cmd_fleet_submit(args: argparse.Namespace) -> int:
         print(f"submitted job {job_id} to {args.url}")
         if not args.wait:
             return 0
-        status = poll_job(args.url, job_id, timeout_s=args.timeout)
+        status = wait_for_job(args.url, job_id, timeout_s=args.timeout)
         print(f"job {job_id}: {status['status']}")
         if status["status"] != "done":
             print(f"  error: {status.get('error')}", file=sys.stderr)
@@ -766,6 +828,18 @@ def _cmd_fleet_submit(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(csv_text, end="")
+    return 0
+
+
+def _cmd_fleet_cancel(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetClientError, cancel_job
+
+    try:
+        reply = cancel_job(args.url, args.job)
+    except FleetClientError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"job {reply['job']}: {reply['status']}")
     return 0
 
 
@@ -1009,7 +1083,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fworker.set_defaults(func=_cmd_fleet_worker)
 
     p_fstatus = fsub.add_parser("status", help="show a fleet run's shard status")
-    p_fstatus.add_argument("target", help="fleet output directory")
+    p_fstatus.add_argument(
+        "target", nargs="?", default=None, help="fleet output directory"
+    )
+    p_fstatus.add_argument(
+        "--url",
+        help="query a running fleet service instead of an output directory "
+        "(queue depth, per-state job counts, journal lag)",
+    )
     p_fstatus.add_argument(
         "--json",
         action="store_true",
@@ -1046,6 +1127,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap concurrently running shards across each job",
     )
+    p_fserve.add_argument(
+        "--max-running",
+        type=int,
+        default=2,
+        help="jobs orchestrated concurrently; the rest queue (default 2)",
+    )
+    p_fserve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="admission queue bound; a full queue answers 429 + Retry-After "
+        "(default 16)",
+    )
     p_fserve.set_defaults(func=_cmd_fleet_serve)
 
     p_fsubmit = fsub.add_parser(
@@ -1065,9 +1159,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="resolve the spec's [quick] overrides before submitting",
     )
     p_fsubmit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="admission priority: higher dispatches first (default 0)",
+    )
+    p_fsubmit.add_argument(
         "--wait",
         action="store_true",
-        help="poll until the job finishes and print/fetch results.csv",
+        help="poll until the job finishes and print/fetch results.csv "
+        "(survives a service restart window)",
     )
     p_fsubmit.add_argument(
         "--timeout",
@@ -1079,6 +1180,15 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="with --wait: write results.csv here"
     )
     p_fsubmit.set_defaults(func=_cmd_fleet_submit)
+
+    p_fcancel = fsub.add_parser(
+        "cancel", help="cancel a queued or running job on a fleet service"
+    )
+    p_fcancel.add_argument("job", help="job id as returned by submit")
+    p_fcancel.add_argument(
+        "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8642"
+    )
+    p_fcancel.set_defaults(func=_cmd_fleet_cancel)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -29,6 +29,11 @@ from repro.faults.plan import (
 )
 from repro.faults.rtsflood import RtsFlooder
 
+# Harness-plane convenience re-export: the deterministic jittered backoff
+# policy lives in repro.runtime.retry, but callers reaching for "how do I
+# retry against faults" (the fleet HTTP client foremost) look here first.
+from repro.runtime.retry import RetryPolicy
+
 __all__ = [
     "CrashConfig",
     "FaultInjector",
@@ -38,6 +43,7 @@ __all__ = [
     "JamFrame",
     "Jammer",
     "JammerConfig",
+    "RetryPolicy",
     "RtsFloodConfig",
     "RtsFlooder",
 ]

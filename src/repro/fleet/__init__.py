@@ -13,17 +13,23 @@ The fleet tier turns one campaign into N independently-runnable *shards*:
 - :mod:`repro.fleet.merge` folds shard outputs back into the canonical
   single-host artifacts, byte-identical in metrics fingerprints;
 - :mod:`repro.fleet.service` / :mod:`repro.fleet.client` expose the whole
-  thing over stdlib HTTP (``repro fleet serve`` / ``repro fleet submit``).
+  thing over stdlib HTTP (``repro fleet serve`` / ``repro fleet submit``);
+- :mod:`repro.fleet.journal` is the service's crash-safe job journal:
+  every job state transition is fsync'd to an append-only checksummed
+  JSONL log (with atomic snapshot compaction), so a killed-and-restarted
+  service replays its queue and converges byte-identically.
 
 See DESIGN.md §13 for the contracts and shard resume semantics.
 """
 
 from repro.fleet.client import (
     FleetClientError,
+    cancel_job,
     fetch_results,
     get_json,
     poll_job,
     submit_job,
+    wait_for_job,
 )
 from repro.fleet.executor import (
     CHAOS_KILL_ENV,
@@ -36,6 +42,7 @@ from repro.fleet.executor import (
     get_executor,
     register_executor,
 )
+from repro.fleet.journal import JobJournal, JobRecord, JournalError
 from repro.fleet.merge import collect_fleet_telemetry, default_shard_dirs, merge_fleet
 from repro.fleet.plan import FleetError, ShardPlan, plan_shards
 from repro.fleet.run import (
@@ -61,6 +68,9 @@ __all__ = [
     "FleetRun",
     "FleetService",
     "FleetState",
+    "JobJournal",
+    "JobRecord",
+    "JournalError",
     "LocalExecutor",
     "ServiceThread",
     "ShardOutcome",
@@ -68,6 +78,7 @@ __all__ = [
     "ShardState",
     "ShardTask",
     "SubprocessExecutor",
+    "cancel_job",
     "collect_fleet_telemetry",
     "default_shard_dirs",
     "executor_names",
@@ -87,4 +98,5 @@ __all__ = [
     "shard_dir",
     "spec_path",
     "submit_job",
+    "wait_for_job",
 ]

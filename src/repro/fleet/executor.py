@@ -66,6 +66,15 @@ class FleetExecutor:
     def run_shard(self, task: ShardTask) -> ShardOutcome:  # pragma: no cover
         raise NotImplementedError
 
+    def cancel(self) -> None:
+        """Stop every shard this executor currently has in flight.
+
+        Called by the orchestrator when its task is cancelled (job cancel,
+        service shutdown).  Best-effort: the base class cannot interrupt
+        anything and does nothing; the subprocess executor kills its worker
+        processes, whose atomic manifests make the interruption resumable.
+        """
+
 
 _EXECUTORS: dict[str, type[FleetExecutor]] = {}
 
@@ -147,6 +156,15 @@ class SubprocessExecutor(FleetExecutor):
 
     def __init__(self, on_spawn: Callable[[ShardTask, subprocess.Popen], None] | None = None) -> None:
         self.on_spawn = on_spawn
+        self._procs: set[subprocess.Popen] = set()
+        self._procs_lock = threading.Lock()
+
+    def cancel(self) -> None:
+        with self._procs_lock:
+            live = list(self._procs)
+        for proc in live:
+            if proc.poll() is None:
+                proc.kill()
 
     def run_shard(self, task: ShardTask) -> ShardOutcome:
         import repro
@@ -179,6 +197,8 @@ class SubprocessExecutor(FleetExecutor):
         log_path = task.out_dir / "worker.log"
         with log_path.open("a") as log:
             proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT, env=env)
+            with self._procs_lock:
+                self._procs.add(proc)
             chaos = (
                 os.environ.get(CHAOS_KILL_ENV) == str(task.shard)
                 and not (task.out_dir / ".chaos-killed").exists()
@@ -190,7 +210,11 @@ class SubprocessExecutor(FleetExecutor):
                 watcher.start()
             if self.on_spawn is not None:
                 self.on_spawn(task, proc)
-            code = proc.wait()
+            try:
+                code = proc.wait()
+            finally:
+                with self._procs_lock:
+                    self._procs.discard(proc)
         if code != 0:
             tail = "".join(log_path.read_text().splitlines(keepends=True)[-8:]).strip()
             return ShardOutcome(task.shard, returncode=code, error=tail or f"exit {code}")

@@ -21,7 +21,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable
 
-from repro.campaign.manifest import DONE, Manifest, PointState
+from repro.campaign.manifest import DONE, PENDING, RUNNING, Manifest, PointState
 from repro.campaign.runner import point_path, write_reports
 from repro.campaign.spec import CampaignSpec, expand_grid, point_id, spec_hash
 from repro.fleet.plan import FleetError
@@ -96,6 +96,19 @@ def merge_fleet(
             if point.status == DONE:
                 source = point_path(shard_dir, point)
                 atomic_write_text(point_path(out, point), source.read_text())
+            elif point.status == RUNNING:
+                # A shard manifest snapshotted mid-point (worker killed with
+                # the point in flight): in the merged view that point simply
+                # was not computed.  Normalize so a survivors-merge reports
+                # pending, not a liveness state no process backs anymore.
+                point = PointState(
+                    id=point.id,
+                    index=point.index,
+                    params=point.params,
+                    status=PENDING,
+                    retries=point.retries,
+                    last_failure=point.last_failure,
+                )
             merged[point.id] = point
     if len(code_versions) > 1:
         raise FleetError(

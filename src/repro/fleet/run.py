@@ -50,6 +50,9 @@ SHARD_RUNNING = "running"
 SHARD_RETRYING = "retrying"
 SHARD_DONE = "done"
 SHARD_FAILED = "failed"
+#: The orchestrator was cancelled (job cancel / service shutdown) while this
+#: shard was in flight; its manifest makes a later resume cheap.
+SHARD_INTERRUPTED = "interrupted"
 
 
 def shard_dir(out_dir: str | Path, shard: int) -> Path:
@@ -288,7 +291,21 @@ async def run_fleet_async(
             state.save(state_file)
         return False
 
-    results = await asyncio.gather(*(drive(shard) for shard in range(n_shards)))
+    try:
+        results = await asyncio.gather(*(drive(shard) for shard in range(n_shards)))
+    except asyncio.CancelledError:
+        # The surrounding task was cancelled (job cancel, service shutdown).
+        # Kill live shard workers so nothing keeps mutating the out dir, and
+        # record the interruption — every touched shard resumes from its own
+        # manifest on the next dispatch, so cancellation loses no work.
+        exec_obj.cancel()
+        for entry in state.shards:
+            if entry.status in (SHARD_RUNNING, SHARD_RETRYING):
+                entry.status = SHARD_INTERRUPTED
+                entry.error = "interrupted by cancellation"
+        state.save(state_file)
+        say("fleet run cancelled; live shard workers stopped")
+        raise
 
     if all(results):
         manifest = await asyncio.to_thread(merge_fleet, spec, out)

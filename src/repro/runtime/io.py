@@ -76,6 +76,27 @@ def atomic_write_text(
         raise
 
 
+def durable_append_line(path: str | Path, text: str, *, durable: bool = True) -> None:
+    """Append one line to ``path`` and fsync it — the JSONL journal idiom.
+
+    Appends are the write-ahead-log counterpart of :func:`atomic_write_text`:
+    a crash mid-append can only tear the *final* line, which journal readers
+    detect (newline missing / JSON truncated / checksum mismatch) and drop.
+    The first append also fsyncs the parent directory so the journal file's
+    creation itself survives a power cut.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    created = not path.exists()
+    with path.open("a") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    if durable and created:
+        fsync_dir(path.parent)
+
+
 def clean_stale_tmp(directory: str | Path, max_age_s: float = 3600.0) -> int:
     """Remove ``*.tmp`` debris left behind by killed writers; returns count.
 
